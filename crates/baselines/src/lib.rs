@@ -1,0 +1,27 @@
+//! Baseline anonymization methods for transaction data.
+//!
+//! The paper's evaluation (Section V) compares CAHD against
+//! **PermMondrian (PM)** — a hybrid of the two strongest relational
+//! techniques: Mondrian's top-down QID-proximity partitioning and Anatomy's
+//! exact-QID (permutation) publishing, with an enhanced split heuristic
+//! that favors balanced sensitive-item distributions.
+//!
+//! * [`permmondrian::perm_mondrian`] — the PM competitor,
+//! * [`anatomy::random_grouping`] — an Anatomy-flavored reference that
+//!   groups greedily in random order with the one-occurrence heuristic but
+//!   no QID-proximity awareness; it isolates how much of CAHD's advantage
+//!   comes from correlation-aware grouping,
+//! * [`generalization`] — the k-anonymity-style *generalized* publishing
+//!   format the paper argues collapses under high dimensionality; included
+//!   so the dimensionality-curse motivation (Section I) is measurable.
+//!
+//! Both produce the same [`cahd_core::PublishedDataset`] release format as
+//! CAHD and are checked by the same independent verifier.
+
+pub mod anatomy;
+pub mod generalization;
+pub mod permmondrian;
+
+pub use anatomy::random_grouping;
+pub use generalization::{generalized_mondrian, GeneralizedRelease};
+pub use permmondrian::{perm_mondrian, PmConfig, PmStats};

@@ -1,0 +1,48 @@
+//! Method-vs-method timing: the CAHD / PM comparison of Fig. 12 at a fixed
+//! setting, plus the PM split-heuristic ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cahd_baselines::{perm_mondrian, random_grouping, PmConfig};
+use cahd_bench::runs::{prepare, select_sensitive};
+use cahd_core::{cahd, CahdConfig};
+use cahd_data::profiles;
+use cahd_rcm::UnsymOptions;
+
+fn bench_methods(c: &mut Criterion) {
+    let prep = prepare(profiles::bms1_like(0.1, 7), UnsymOptions::default());
+    let sens = select_sensitive(&prep.data, 20, 20, 11);
+    let mut g = c.benchmark_group("methods/p10");
+    g.sample_size(20);
+    g.bench_function("cahd_grouping", |b| {
+        b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(10)).unwrap())
+    });
+    g.bench_function("perm_mondrian", |b| {
+        b.iter(|| perm_mondrian(&prep.data, &sens, &PmConfig::new(10)).unwrap())
+    });
+    g.bench_function("random_grouping", |b| {
+        b.iter(|| random_grouping(&prep.data, &sens, 10, 3).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pm_split_heuristics(c: &mut Criterion) {
+    let data = profiles::bms1_like(0.1, 7);
+    let sens = select_sensitive(&data, 20, 20, 11);
+    let mut g = c.benchmark_group("pm/split_heuristic");
+    g.sample_size(20);
+    g.bench_function("enhanced", |b| {
+        b.iter(|| perm_mondrian(&data, &sens, &PmConfig::new(10)).unwrap())
+    });
+    g.bench_function("plain_cardinality", |b| {
+        let cfg = PmConfig {
+            enhanced_split: false,
+            ..PmConfig::new(10)
+        };
+        b.iter(|| perm_mondrian(&data, &sens, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_pm_split_heuristics);
+criterion_main!(benches);

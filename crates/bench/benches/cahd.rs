@@ -1,0 +1,50 @@
+//! CAHD group-formation benchmarks: the `p` sweep of Fig. 12 (grouping
+//! phase only, RCM precomputed) and the `alpha` sweep of Fig. 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cahd_bench::runs::{prepare, select_sensitive};
+use cahd_core::{cahd, CahdConfig};
+use cahd_data::profiles;
+use cahd_rcm::UnsymOptions;
+
+fn bench_privacy_degree(c: &mut Criterion) {
+    let prep = prepare(profiles::bms1_like(0.1, 7), UnsymOptions::default());
+    let sens = select_sensitive(&prep.data, 20, 20, 11);
+    let mut g = c.benchmark_group("cahd/privacy_degree");
+    for p in [4usize, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(p)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let prep = prepare(profiles::bms2_like(0.05, 7), UnsymOptions::default());
+    let sens = select_sensitive(&prep.data, 10, 20, 11);
+    let mut g = c.benchmark_group("cahd/alpha");
+    for alpha in [1usize, 2, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                cahd(&prep.permuted, &sens, &CahdConfig::new(10).with_alpha(alpha)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sensitive_count(c: &mut Criterion) {
+    let prep = prepare(profiles::bms1_like(0.1, 7), UnsymOptions::default());
+    let mut g = c.benchmark_group("cahd/sensitive_items");
+    for m in [5usize, 10, 20] {
+        let sens = select_sensitive(&prep.data, m, 20, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &sens, |b, sens| {
+            b.iter(|| cahd(&prep.permuted, sens, &CahdConfig::new(10)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_privacy_degree, bench_alpha, bench_sensitive_count);
+criterion_main!(benches);

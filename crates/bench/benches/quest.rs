@@ -1,0 +1,31 @@
+//! Synthetic-data generator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cahd_data::profiles;
+use cahd_data::QuestGenerator;
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quest/profiles");
+    g.sample_size(10);
+    g.bench_function("bms1_scale0.1", |b| {
+        b.iter(|| QuestGenerator::new(profiles::bms1_config(0.1), 7).generate())
+    });
+    g.bench_function("bms2_scale0.1", |b| {
+        b.iter(|| QuestGenerator::new(profiles::bms2_config(0.1), 7).generate())
+    });
+    g.finish();
+}
+
+fn bench_fig6_correlations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quest/fig6");
+    for corr in [0.1, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(corr), &corr, |b, &corr| {
+            b.iter(|| QuestGenerator::new(profiles::fig6_config(corr), 7).generate())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiles, bench_fig6_correlations);
+criterion_main!(benches);

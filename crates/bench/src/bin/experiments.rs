@@ -1,0 +1,105 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale F] [--seed N] [--out DIR] [--quiet-panels] CMD...
+//!   CMD: table1 table2 fig6 fig9 fig10 fig11 fig12 fig13 all
+//! ```
+//!
+//! `--scale` multiplies the BMS transaction counts (default 0.25; 1.0 is
+//! paper scale). `--out` writes CSV (and PGM, for fig6) artifacts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cahd_bench::context::ExperimentContext;
+use cahd_bench::{experiments, extensions};
+
+const USAGE: &str = "usage: experiments [--scale F] [--seed N] [--out DIR] [--quiet-panels] \
+                     {table1|table2|fig6|fig9..fig13|ext-orderings|ext-generalization|ext-mining|ext-weighted|ext-attack|ext-refine|ext-skew|all}...";
+
+fn main() -> ExitCode {
+    let mut ctx = ExperimentContext::default();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut quiet_panels = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => ctx.scale = v,
+                _ => return usage_error("--scale needs a positive number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => ctx.seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(v) => ctx.out_dir = Some(PathBuf::from(v)),
+                None => return usage_error("--out needs a directory"),
+            },
+            "--quiet-panels" => quiet_panels = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other}"));
+            }
+            cmd => cmds.push(cmd.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        return usage_error("no command given");
+    }
+    if cmds.iter().any(|c| c == "all") {
+        cmds = [
+            "table1", "table2", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "ext-orderings", "ext-generalization", "ext-mining", "ext-weighted", "ext-attack", "ext-refine", "ext-skew",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    eprintln!(
+        "# scale {}, seed {}, out {:?}",
+        ctx.scale, ctx.seed, ctx.out_dir
+    );
+    for cmd in &cmds {
+        let t0 = std::time::Instant::now();
+        match cmd.as_str() {
+            "table1" => println!("{}", experiments::table1(&ctx).render()),
+            "table2" => println!("{}", experiments::table2(&ctx).render()),
+            "fig6" => {
+                let (table, panels) = experiments::fig6(&ctx);
+                println!("{}", table.render());
+                if !quiet_panels {
+                    for p in panels {
+                        println!("{p}");
+                    }
+                }
+            }
+            "fig9" => println!("{}", experiments::fig9(&ctx).render()),
+            "fig10" => println!("{}", experiments::fig10(&ctx).render()),
+            "fig11" => println!("{}", experiments::fig11(&ctx).render()),
+            "fig12" => println!("{}", experiments::fig12(&ctx).render()),
+            "fig13" => println!("{}", experiments::fig13(&ctx).render()),
+            "ext-orderings" => println!("{}", extensions::ext_orderings(&ctx).render()),
+            "ext-generalization" => {
+                println!("{}", extensions::ext_generalization(&ctx).render())
+            }
+            "ext-mining" => println!("{}", extensions::ext_mining(&ctx).render()),
+            "ext-weighted" => println!("{}", extensions::ext_weighted(&ctx).render()),
+            "ext-attack" => println!("{}", extensions::ext_attack(&ctx).render()),
+            "ext-refine" => println!("{}", extensions::ext_refine(&ctx).render()),
+            "ext-skew" => println!("{}", extensions::ext_skew(&ctx).render()),
+            other => return usage_error(&format!("unknown command {other}")),
+        }
+        eprintln!("# {cmd} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

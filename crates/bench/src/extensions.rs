@@ -1,0 +1,460 @@
+//! Extension experiments beyond the paper's evaluation section.
+//!
+//! * [`ext_orderings`] — the paper's future-work direction: compare RCM
+//!   against dimensionality-reduction-style orderings (MinHash,
+//!   lexicographic) and no ordering at all, on both band quality and
+//!   downstream CAHD utility.
+//! * [`ext_generalization`] — the paper's Section I motivation, measured:
+//!   the same Mondrian partition published generalized vs permuted, showing
+//!   the dimensionality curse (mixed-column explosion and KL collapse).
+//! * [`ext_mining`] — the motivating analysis task: QID-only frequent
+//!   itemsets are preserved exactly; sensitive-pattern supports are
+//!   estimable with small relative error under CAHD.
+
+use std::time::Instant;
+
+use cahd_baselines::generalization::generalized_mondrian;
+use cahd_baselines::PmConfig;
+use cahd_core::weighted::{cahd_weighted, WeightedSimilarity};
+use cahd_core::{cahd, CahdConfig};
+use cahd_eval::kl::{kl_divergence, DEFAULT_SMOOTHING};
+use cahd_eval::mining::{published_qid_support, sensitive_support_error, top_k_itemsets};
+use cahd_eval::{actual_pdf, evaluate_workload, generate_workload_seeded};
+use cahd_rcm::{RowOrder, UnsymOptions};
+
+use crate::context::{DatasetId, ExperimentContext};
+use crate::report::{fmt_secs, Table};
+use crate::runs::{prepare, run_cahd, run_pm, run_random, select_sensitive};
+
+fn write_csv(ctx: &ExperimentContext, table: &Table, name: &str) {
+    if let Some(dir) = &ctx.out_dir {
+        if let Err(e) = table.write_csv(dir, name) {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+    }
+}
+
+/// Row-ordering ablation: band quality, ordering cost and CAHD utility per
+/// strategy (BMS1-like, p = 10, m = 10, r = 4).
+pub fn ext_orderings(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "Ext: row-ordering strategies (p = 10, m = 10, r = 4)",
+        &["dataset", "ordering", "adjacent overlap", "order secs", "CAHD KL"],
+    );
+    let correlated = cahd_data::profiles::fig6_like(0.9, ctx.sub_seed("extord-corr"));
+    let datasets: [(&str, cahd_data::TransactionSet); 2] = [
+        ("BMS1-like", ctx.dataset(DatasetId::Bms1)),
+        ("quest corr=0.9", correlated),
+    ];
+    for (name, data) in datasets {
+        let sens = select_sensitive(&data, 10, 20, ctx.sub_seed("extord-sens"));
+        let queries_seed = ctx.sub_seed("extord-q");
+        for strat in RowOrder::ALL {
+            let t0 = Instant::now();
+            let perm = strat.order(data.matrix(), ctx.sub_seed("extord-mh"));
+            let order_time = t0.elapsed();
+            let permuted = data.permute(&perm);
+            // Mean number of items shared by consecutive transactions — the
+            // locality CAHD's candidate lists exploit.
+            let n = permuted.n_transactions();
+            let overlap: usize = (0..n - 1)
+                .map(|i| {
+                    cahd_sparse::CsrMatrix::intersection_len(
+                        permuted.transaction(i),
+                        permuted.transaction(i + 1),
+                    )
+                })
+                .sum();
+            let (published, _) = cahd(&permuted, &sens, &CahdConfig::new(10)).expect("feasible");
+            let queries = generate_workload_seeded(&permuted, &sens, 4, 100, queries_seed);
+            let kl = evaluate_workload(&permuted, &published, &queries).mean_kl;
+            t.row(&[
+                name.into(),
+                strat.name().into(),
+                format!("{:.3}", overlap as f64 / (n - 1) as f64),
+                fmt_secs(order_time),
+                format!("{kl:.4}"),
+            ]);
+        }
+    }
+    write_csv(ctx, &t, "ext_orderings");
+    t
+}
+
+/// The dimensionality curse, measured: the same Mondrian partition
+/// published generalized vs permuted, against CAHD, across p.
+pub fn ext_generalization(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "Ext: generalization collapse (m = 10, r = 4)",
+        &[
+            "dataset",
+            "p",
+            "mixed cols",
+            "KL generalized",
+            "KL PM (permuted)",
+            "KL CAHD",
+        ],
+    );
+    for id in DatasetId::ALL {
+        let prep = prepare(ctx.dataset(id), UnsymOptions::default());
+        let sens = select_sensitive(&prep.data, 10, 20, ctx.sub_seed("extgen-sens"));
+        for p in [5usize, 10, 20] {
+            let seed = ctx.sub_seed(&format!("extgen-{}-{p}", id.name()));
+            let (gen_rel, pm_rel) =
+                generalized_mondrian(&prep.data, &sens, &PmConfig::new(p)).expect("feasible");
+            let cahd_rel = run_cahd(&prep, &sens, p, 3).expect("feasible").published;
+
+            let queries = generate_workload_seeded(&prep.data, &sens, 4, 100, seed);
+            let mut kl_gen_sum = 0.0;
+            let mut n_gen = 0usize;
+            for q in &queries {
+                if let (Some(act), Some(est)) = (
+                    actual_pdf(&prep.data, q),
+                    gen_rel.estimated_pdf(q.sensitive, &q.qid),
+                ) {
+                    kl_gen_sum += kl_divergence(&act, &est, DEFAULT_SMOOTHING);
+                    n_gen += 1;
+                }
+            }
+            let kl_gen = if n_gen == 0 { f64::NAN } else { kl_gen_sum / n_gen as f64 };
+            let kl_pm = evaluate_workload(&prep.data, &pm_rel, &queries).mean_kl;
+            let kl_cahd = evaluate_workload(&prep.data, &cahd_rel, &queries).mean_kl;
+            t.row(&[
+                id.name().into(),
+                p.to_string(),
+                format!("{:.1}%", gen_rel.mixed_fraction() * 100.0),
+                format!("{kl_gen:.4}"),
+                format!("{kl_pm:.4}"),
+                format!("{kl_cahd:.4}"),
+            ]);
+        }
+    }
+    write_csv(ctx, &t, "ext_generalization");
+    t
+}
+
+/// Pattern-mining preservation: top QID itemsets survive exactly; supports
+/// of (sensitive, QID) patterns reconstruct with bounded relative error.
+pub fn ext_mining(ctx: &ExperimentContext) -> Table {
+    let mut t = Table::new(
+        "Ext: pattern preservation (top-20 itemsets, p = 10, m = 10)",
+        &[
+            "dataset",
+            "qid itemsets preserved",
+            "sens support err CAHD",
+            "sens support err PM",
+            "sens support err Random",
+        ],
+    );
+    for id in DatasetId::ALL {
+        let prep = prepare(ctx.dataset(id), UnsymOptions::default());
+        let sens = select_sensitive(&prep.data, 10, 20, ctx.sub_seed("extmine-sens"));
+        let p = 10;
+        let cahd_rel = run_cahd(&prep, &sens, p, 3).expect("feasible").published;
+        let pm_rel = run_pm(&prep.data, &sens, p).expect("feasible").published;
+        let rnd_rel = run_random(&prep.data, &sens, p, ctx.sub_seed("extmine-rnd"))
+            .expect("feasible")
+            .published;
+
+        // Top QID-only itemsets (length >= 2): exact preservation check.
+        let top = top_k_itemsets(&prep.data, 20, 2, 3);
+        let qid_only: Vec<_> = top
+            .iter()
+            .filter(|s| s.items.iter().all(|&i| !sens.contains(i)))
+            .collect();
+        let preserved = qid_only
+            .iter()
+            .filter(|s| published_qid_support(&cahd_rel, &s.items) == s.support)
+            .count();
+
+        // Sensitive patterns: each sensitive item paired with its most
+        // co-occurring QID item (found by one pass over its transactions).
+        let inv = prep.data.inverted_index();
+        let mut cooc = vec![0u32; prep.data.n_items()];
+        let patterns: Vec<(u32, Vec<u32>)> = sens
+            .items()
+            .iter()
+            .filter(|&&s| !inv.row(s as usize).is_empty())
+            .filter_map(|&s| {
+                cooc.iter_mut().for_each(|c| *c = 0);
+                for &txn in inv.row(s as usize) {
+                    for &it in prep.data.transaction(txn as usize) {
+                        if !sens.contains(it) {
+                            cooc[it as usize] += 1;
+                        }
+                    }
+                }
+                let best_q = (0..prep.data.n_items() as u32)
+                    .max_by_key(|&q| cooc[q as usize])?;
+                (cooc[best_q as usize] > 0).then(|| (s, vec![best_q]))
+            })
+            .collect();
+        let fmt_err = |rel| match sensitive_support_error(&prep.data, rel, &patterns) {
+            Some(e) => format!("{:.1}%", e * 100.0),
+            None => "n/a".into(),
+        };
+        t.row(&[
+            id.name().into(),
+            format!("{preserved}/{}", qid_only.len()),
+            fmt_err(&cahd_rel),
+            fmt_err(&pm_rel),
+            fmt_err(&rnd_rel),
+        ]);
+    }
+    write_csv(ctx, &t, "ext_mining");
+    t
+}
+
+/// Weighted (count-valued) CAHD: rating-preservation and the value of
+/// count-aware similarity, on a Netflix-like ratings matrix.
+pub fn ext_weighted(ctx: &ExperimentContext) -> Table {
+    use cahd_data::WeightedTransactionSet;
+    let mut t = Table::new(
+        "Ext: weighted CAHD on ratings data (p = 10, m = 8)",
+        &[
+            "similarity",
+            "groups",
+            "mean |rating diff| within group",
+            "cahd secs",
+        ],
+    );
+    // Ratings matrix: pattern from Quest, stars 1..5 with a per-user bias.
+    let pattern = cahd_data::QuestGenerator::new(
+        cahd_data::QuestConfig {
+            n_transactions: (4_000f64 * ctx.scale.max(0.05) * 4.0) as usize,
+            n_items: 600,
+            avg_txn_len: 8.0,
+            n_patterns: 80,
+            avg_pattern_len: 5.0,
+            correlation: 0.6,
+            ..Default::default()
+        },
+        ctx.sub_seed("extw-data"),
+    )
+    .generate();
+    use rand::Rng as _;
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.sub_seed("extw-stars"));
+    let rows: Vec<Vec<(u32, u32)>> = (0..pattern.n_transactions())
+        .map(|txn| {
+            let bias = rng.gen_range(0..2);
+            pattern
+                .transaction(txn)
+                .iter()
+                .map(|&title| (title, (1 + bias + rng.gen_range(0..4)).min(5)))
+                .collect()
+        })
+        .collect();
+    let data = WeightedTransactionSet::from_rows(&rows, 600);
+    let sens = select_sensitive(&data.to_binary(), 8, 20, ctx.sub_seed("extw-sens"));
+    let red = cahd_rcm::reduce_unsymmetric(data.pattern(), UnsymOptions::default());
+    let permuted = data.permute(&red.row_perm);
+
+    for sim in [WeightedSimilarity::PresenceOverlap, WeightedSimilarity::MinCount] {
+        let t0 = Instant::now();
+        let (pub_, _) = cahd_weighted(&permuted, &sens, &CahdConfig::new(10), sim)
+            .expect("feasible");
+        let secs = t0.elapsed();
+        // Within-group rating coherence: mean |count_a - count_b| over
+        // shared items of member pairs (lower = groups preserve rating
+        // structure better).
+        let mut diff_sum = 0f64;
+        let mut diff_n = 0u64;
+        for g in &pub_.groups {
+            for a in 0..g.qid_rows.len() {
+                for b in (a + 1)..g.qid_rows.len().min(a + 4) {
+                    let (ra, rb) = (&g.qid_rows[a], &g.qid_rows[b]);
+                    let mut i = 0;
+                    let mut j = 0;
+                    while i < ra.len() && j < rb.len() {
+                        match ra[i].0.cmp(&rb[j].0) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                diff_sum += (ra[i].1 as f64 - rb[j].1 as f64).abs();
+                                diff_n += 1;
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let name = match sim {
+            WeightedSimilarity::PresenceOverlap => "presence",
+            WeightedSimilarity::MinCount => "min-count",
+        };
+        t.row(&[
+            name.into(),
+            pub_.groups.len().to_string(),
+            format!("{:.3}", diff_sum / diff_n.max(1) as f64),
+            fmt_secs(secs),
+        ]);
+    }
+    write_csv(ctx, &t, "ext_weighted");
+    t
+}
+
+/// Local-search refinement on top of CAHD: objective gain and KL before /
+/// after, across p.
+pub fn ext_refine(ctx: &ExperimentContext) -> Table {
+    use cahd_core::{intra_group_overlap, refine_groups, verify_published};
+    let mut t = Table::new(
+        "Ext: swap refinement after CAHD (m = 10, r = 4, window = 2)",
+        &["dataset", "p", "overlap before", "overlap after", "KL before", "KL after", "swaps"],
+    );
+    for id in DatasetId::ALL {
+        let prep = prepare(ctx.dataset(id), UnsymOptions::default());
+        let sens = select_sensitive(&prep.data, 10, 20, ctx.sub_seed("extref-sens"));
+        for p in [10usize, 20] {
+            let seed = ctx.sub_seed(&format!("extref-{}-{p}", id.name()));
+            let mut release = run_cahd(&prep, &sens, p, 3).expect("feasible").published;
+            let before_overlap = intra_group_overlap(&release);
+            let queries = generate_workload_seeded(&prep.data, &sens, 4, 100, seed);
+            let kl_before = evaluate_workload(&prep.data, &release, &queries).mean_kl;
+            let stats = refine_groups(&mut release, &prep.data, &sens, p, 2, 3);
+            verify_published(&prep.data, &sens, &release, p).expect("refined release valid");
+            let kl_after = evaluate_workload(&prep.data, &release, &queries).mean_kl;
+            t.row(&[
+                id.name().into(),
+                p.to_string(),
+                before_overlap.to_string(),
+                intra_group_overlap(&release).to_string(),
+                format!("{kl_before:.4}"),
+                format!("{kl_after:.4}"),
+                stats.swaps_applied.to_string(),
+            ]);
+        }
+    }
+    write_csv(ctx, &t, "ext_refine");
+    t
+}
+
+/// Item-popularity skew vs re-identification risk — a negative result,
+/// kept because it is informative: one might expect Zipf-like item
+/// popularity (which real clickstreams have and uniform Quest lacks) to
+/// explain why our Table II magnitudes sit below the paper's. The sweep
+/// shows the opposite — skew *concentrates* baskets on a popular head and
+/// reduces uniqueness. The residual gap therefore comes from per-user
+/// idiosyncratic rare items, which a shared-pattern-pool generator cannot
+/// produce by construction (see EXPERIMENTS.md).
+pub fn ext_skew(ctx: &ExperimentContext) -> Table {
+    use cahd_eval::reidentification_probability;
+    use rand::SeedableRng as _;
+    let mut t = Table::new(
+        "Ext: Table II vs Quest item-popularity skew (BMS2-like shape)",
+        &["item skew", "k=1", "k=2", "k=3", "k=4"],
+    );
+    for skew in [0.0f64, 0.6, 1.0] {
+        let cfg = cahd_data::QuestConfig {
+            item_skew: skew,
+            ..cahd_data::profiles::bms2_config(ctx.scale)
+        };
+        let data = cahd_data::QuestGenerator::new(cfg, ctx.sub_seed("extskew")).generate();
+        let mut cells = vec![format!("{skew:.1}")];
+        for k in 1..=4 {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extskew-{k}")));
+            let p = reidentification_probability(&data, None, k, 10_000, &mut rng)
+                .unwrap_or(f64::NAN);
+            cells.push(format!("{:.1}%", p * 100.0));
+        }
+        t.row(&cells);
+    }
+    write_csv(ctx, &t, "ext_skew");
+    t
+}
+
+/// Linkage-attack simulation (Definition 3, observed): attacker posterior
+/// on raw data vs the CAHD release, per amount of background knowledge.
+pub fn ext_attack(ctx: &ExperimentContext) -> Table {
+    use cahd_eval::{attack_published, attack_raw};
+    use rand::SeedableRng as _;
+    let mut t = Table::new(
+        "Ext: linkage attack, mean posterior on the true sensitive item (p = 10, m = 10)",
+        &["dataset", "k", "raw", "released", "released max", "bound 1/p"],
+    );
+    let p = 10;
+    for id in DatasetId::ALL {
+        let prep = prepare(ctx.dataset(id), UnsymOptions::default());
+        let sens = select_sensitive(&prep.data, 10, 20, ctx.sub_seed("extatk-sens"));
+        let release = run_cahd(&prep, &sens, p, 3).expect("feasible").published;
+        for k in [1usize, 2, 3] {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
+            let raw = attack_raw(&prep.data, &sens, k, 2_000, &mut rng);
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
+            let rel = attack_published(&prep.data, &sens, &release, k, 2_000, &mut rng);
+            let (Some(raw), Some(rel)) = (raw, rel) else {
+                continue;
+            };
+            t.row(&[
+                id.name().into(),
+                k.to_string(),
+                format!("{:.4}", raw.mean_true_posterior),
+                format!("{:.4}", rel.mean_true_posterior),
+                format!("{:.4}", rel.max_posterior),
+                format!("{:.4}", 1.0 / p as f64),
+            ]);
+        }
+    }
+    write_csv(ctx, &t, "ext_attack");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext {
+            scale: 0.02,
+            seed: 7,
+            out_dir: None,
+        }
+    }
+
+    #[test]
+    fn ext_orderings_covers_all_strategies() {
+        let t = ext_orderings(&tiny_ctx());
+        assert_eq!(t.n_rows(), 2 * RowOrder::ALL.len());
+    }
+
+    #[test]
+    fn ext_generalization_shape() {
+        let t = ext_generalization(&tiny_ctx());
+        assert_eq!(t.n_rows(), 6); // 2 datasets x 3 p values
+    }
+
+    #[test]
+    fn ext_mining_shape() {
+        let t = ext_mining(&tiny_ctx());
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn ext_weighted_shape() {
+        let t = ext_weighted(&tiny_ctx());
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn ext_attack_bound_holds() {
+        let t = ext_attack(&tiny_ctx());
+        assert!(t.n_rows() >= 4);
+    }
+
+    #[test]
+    fn ext_refine_shape() {
+        let t = ext_refine(&tiny_ctx());
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn ext_skew_shape() {
+        let t = ext_skew(&tiny_ctx());
+        assert_eq!(t.n_rows(), 3);
+    }
+}

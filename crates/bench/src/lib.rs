@@ -1,0 +1,16 @@
+//! Experiment harness for the CAHD reproduction.
+//!
+//! Regenerates every table and figure of the paper's evaluation section on
+//! the BMS-like synthetic profiles (see `cahd-data::profiles` and
+//! DESIGN.md for the dataset substitution rationale). The `experiments`
+//! binary drives [`experiments`]; the Criterion benches under `benches/`
+//! reuse [`runs`] for micro-level timing.
+
+pub mod context;
+pub mod experiments;
+pub mod extensions;
+pub mod report;
+pub mod runs;
+
+pub use context::{DatasetId, ExperimentContext};
+pub use report::Table;

@@ -1,0 +1,165 @@
+//! Minimal flag parsing (no external dependency): positionals plus
+//! `--flag value` and boolean `--flag` options.
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed arguments: positionals in order, flags by name.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+/// Which flags a command accepts, and whether each takes a value.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Flag name without the leading `--`.
+    pub name: &'static str,
+    /// Whether the flag consumes the following argument as its value.
+    pub takes_value: bool,
+}
+
+impl Args {
+    /// Parses `argv` (without the program/command names) against a spec.
+    pub fn parse(argv: &[String], spec: &[FlagSpec]) -> Result<Args, CliError> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let s = spec
+                    .iter()
+                    .find(|s| s.name == name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown flag --{name}")))?;
+                if s.takes_value {
+                    i += 1;
+                    let v = argv
+                        .get(i)
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                    out.flags.insert(name.to_string(), Some(v.clone()));
+                } else {
+                    out.flags.insert(name.to_string(), None);
+                }
+            } else {
+                out.positionals.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument, or a usage error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing <{name}>")))
+    }
+
+    /// Number of positionals.
+    pub fn n_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A flag's raw string value.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// A flag parsed to any `FromStr` type, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// A comma-separated list flag parsed to `u32`s.
+    pub fn parse_list(&self, name: &str) -> Result<Option<Vec<u32>>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u32>()
+                        .map_err(|_| CliError::Usage(format!("--{name}: bad item id {t:?}")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    const SPEC: &[FlagSpec] = &[
+        FlagSpec { name: "p", takes_value: true },
+        FlagSpec { name: "strip", takes_value: false },
+        FlagSpec { name: "sensitive", takes_value: true },
+    ];
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(&argv(&["data.dat", "--p", "10", "--strip"]), SPEC).unwrap();
+        assert_eq!(a.positional(0, "data").unwrap(), "data.dat");
+        assert_eq!(a.parse_or("p", 0usize).unwrap(), 10);
+        assert!(a.has("strip"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.n_positionals(), 1);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(matches!(
+            Args::parse(&argv(&["--bogus"]), SPEC),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(matches!(
+            Args::parse(&argv(&["--p"]), SPEC),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = Args::parse(&argv(&["--sensitive", "1, 2,9"]), SPEC).unwrap();
+        assert_eq!(a.parse_list("sensitive").unwrap(), Some(vec![1, 2, 9]));
+        let b = Args::parse(&argv(&[]), SPEC).unwrap();
+        assert_eq!(b.parse_list("sensitive").unwrap(), None);
+        let c = Args::parse(&argv(&["--sensitive", "x"]), SPEC).unwrap();
+        assert!(c.parse_list("sensitive").is_err());
+    }
+
+    #[test]
+    fn default_when_absent() {
+        let a = Args::parse(&argv(&[]), SPEC).unwrap();
+        assert_eq!(a.parse_or("p", 7usize).unwrap(), 7);
+        assert!(a.positional(0, "x").is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_usage_error() {
+        let a = Args::parse(&argv(&["--p", "abc"]), SPEC).unwrap();
+        assert!(matches!(a.parse_or("p", 0usize), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,522 @@
+//! The CLI subcommands, as plain functions returning their stdout text.
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cahd_baselines::{perm_mondrian, random_grouping, PmConfig};
+use cahd_core::diversity::privacy_report;
+use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+use cahd_core::weighted::{anonymize_weighted, verify_weighted, WeightedSimilarity};
+use cahd_core::{verify_published, CahdConfig, PublishedDataset};
+use cahd_data::{io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet};
+use cahd_eval::{evaluate_workload, generate_workload_seeded, reidentification_probability};
+
+use crate::args::{Args, FlagSpec};
+use crate::CliError;
+
+/// `stats <data.dat>`: dataset characteristics.
+pub fn stats(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    Ok(format!("{}\n", DatasetStats::compute(&data)))
+}
+
+/// Flags accepted by [`generate`].
+pub const GENERATE_FLAGS: &[FlagSpec] = &[
+    FlagSpec { name: "out", takes_value: true },
+    FlagSpec { name: "scale", takes_value: true },
+    FlagSpec { name: "seed", takes_value: true },
+    FlagSpec { name: "transactions", takes_value: true },
+    FlagSpec { name: "items", takes_value: true },
+    FlagSpec { name: "avg-len", takes_value: true },
+    FlagSpec { name: "patterns", takes_value: true },
+    FlagSpec { name: "correlation", takes_value: true },
+];
+
+/// `generate {bms1|bms2|quest} --out file.dat [...]`: synthesize data.
+pub fn generate(args: &Args) -> Result<String, CliError> {
+    let kind = args.positional(0, "bms1|bms2|quest")?;
+    let out = args
+        .value("out")
+        .ok_or_else(|| CliError::Usage("--out <file.dat> is required".into()))?;
+    let scale: f64 = args.parse_or("scale", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let data = match kind {
+        "bms1" => profiles::bms1_like(scale, seed),
+        "bms2" => profiles::bms2_like(scale, seed),
+        "quest" => {
+            let cfg = QuestConfig {
+                n_transactions: args.parse_or("transactions", 10_000usize)?,
+                n_items: args.parse_or("items", 1_000usize)?,
+                avg_txn_len: args.parse_or("avg-len", 10.0f64)?,
+                n_patterns: args.parse_or("patterns", 100usize)?,
+                correlation: args.parse_or("correlation", 0.5f64)?,
+                ..Default::default()
+            };
+            cfg.validate().map_err(CliError::Usage)?;
+            QuestGenerator::new(cfg, seed).generate()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator {other:?}; expected bms1, bms2 or quest"
+            )))
+        }
+    };
+    io::write_dat_file(out, &data)?;
+    Ok(format!(
+        "wrote {} ({})\n",
+        out,
+        DatasetStats::compute(&data)
+    ))
+}
+
+/// Flags accepted by [`audit`].
+pub const AUDIT_FLAGS: &[FlagSpec] = &[
+    FlagSpec { name: "max-k", takes_value: true },
+    FlagSpec { name: "trials", takes_value: true },
+    FlagSpec { name: "seed", takes_value: true },
+    FlagSpec { name: "release", takes_value: true },
+];
+
+/// `audit <data.dat>`: re-identification risk per number of known items.
+/// With `--release release.json`, additionally simulates the linkage
+/// attack of the paper's threat model against raw data vs the release.
+pub fn audit(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    let max_k: usize = args.parse_or("max-k", 4)?;
+    let trials: usize = args.parse_or("trials", 10_000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let mut out = String::from("known items -> re-identification probability\n");
+    for k in 1..=max_k {
+        let mut rng = StdRng::seed_from_u64(seed ^ k as u64);
+        match reidentification_probability(&data, None, k, trials, &mut rng) {
+            Some(p) => out.push_str(&format!("{k:>11} -> {:.2}%\n", p * 100.0)),
+            None => out.push_str(&format!("{k:>11} -> (no transaction has {k} items)\n")),
+        }
+    }
+    if let Some(rel_path) = args.value("release") {
+        let release = load_release(rel_path)?;
+        let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+        out.push_str("\nlinkage attack, mean posterior on the true sensitive item:\n");
+        out.push_str("known items ->      raw  released  released max\n");
+        for k in 1..=max_k {
+            let mut rng = StdRng::seed_from_u64(seed ^ (100 + k as u64));
+            let raw = cahd_eval::attack_raw(&data, &sensitive, k, trials.min(2_000), &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed ^ (100 + k as u64));
+            let rel = cahd_eval::attack_published(
+                &data, &sensitive, &release, k, trials.min(2_000), &mut rng,
+            );
+            match (raw, rel) {
+                (Some(raw), Some(rel)) => out.push_str(&format!(
+                    "{k:>11} ->  {:.4}    {:.4}        {:.4}\n",
+                    raw.mean_true_posterior, rel.mean_true_posterior, rel.max_posterior
+                )),
+                _ => out.push_str(&format!("{k:>11} ->  (no eligible victims)\n")),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Flags accepted by [`anonymize`].
+pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
+    FlagSpec { name: "weighted", takes_value: false },
+    FlagSpec { name: "p", takes_value: true },
+    FlagSpec { name: "sensitive", takes_value: true },
+    FlagSpec { name: "random-m", takes_value: true },
+    FlagSpec { name: "method", takes_value: true },
+    FlagSpec { name: "alpha", takes_value: true },
+    FlagSpec { name: "no-rcm", takes_value: false },
+    FlagSpec { name: "refine", takes_value: false },
+    FlagSpec { name: "strip-members", takes_value: false },
+    FlagSpec { name: "out", takes_value: true },
+    FlagSpec { name: "seed", takes_value: true },
+];
+
+/// `anonymize <data.dat> --p P ...`: produce a release (JSON on disk or a
+/// summary on stdout).
+pub fn anonymize(args: &Args) -> Result<String, CliError> {
+    let p: usize = args
+        .parse_or("p", 0)
+        .and_then(|p: usize| if p == 0 { Err(CliError::Usage("--p <degree> is required".into())) } else { Ok(p) })?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    if args.has("weighted") {
+        return anonymize_weighted_cmd(args, p, seed);
+    }
+    let data = load(args.positional(0, "data.dat")?)?;
+    let sensitive = sensitive_from_args(args, &data, p, seed)?;
+    let method = args.value("method").unwrap_or("cahd");
+
+    let mut published: PublishedDataset = match method {
+        "cahd" => {
+            let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+            cfg.cahd = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+            if args.has("no-rcm") {
+                cfg = cfg.without_rcm();
+            }
+            Anonymizer::new(cfg).anonymize(&data, &sensitive)?.published
+        }
+        "pm" => perm_mondrian(&data, &sensitive, &PmConfig::new(p))?.0,
+        "random" => random_grouping(&data, &sensitive, p, seed)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown method {other:?}; expected cahd, pm or random"
+            )))
+        }
+    };
+    if args.has("refine") {
+        cahd_core::refine::refine_groups(&mut published, &data, &sensitive, p, 2, 3);
+    }
+    verify_published(&data, &sensitive, &published, p)
+        .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
+
+    let degree = published.privacy_degree();
+    let n_groups = published.n_groups();
+    let to_write = if args.has("strip-members") {
+        published.strip_members()
+    } else {
+        published
+    };
+    let mut out = format!(
+        "method {method}, p {p}: {n_groups} groups, privacy degree {degree:?}, verified\n"
+    );
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, serde_json::to_string(&to_write)?)?;
+        out.push_str(&format!("release written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// The `--weighted` path of [`anonymize`]: reads `.wdat` count data and
+/// runs the weighted CAHD pipeline.
+fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, CliError> {
+    let path = args.positional(0, "data.wdat")?;
+    if !Path::new(path).exists() {
+        return Err(CliError::Run(format!("no such file: {path}")));
+    }
+    if let Some(m) = args.value("method") {
+        if m != "cahd" {
+            return Err(CliError::Usage(
+                "--weighted supports only --method cahd".into(),
+            ));
+        }
+    }
+    let data = cahd_data::weighted::read_wdat_file(path, None)?;
+    let binary = data.to_binary();
+    let sensitive = sensitive_from_args(args, &binary, p, seed)?;
+    let cfg = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+    let (mut release, _) =
+        anonymize_weighted(&data, &sensitive, &cfg, WeightedSimilarity::MinCount)?;
+    verify_weighted(&data, &sensitive, &release, p)
+        .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
+    let n_groups = release.groups.len();
+    if args.has("strip-members") {
+        for g in &mut release.groups {
+            g.members.clear();
+        }
+    }
+    let mut out = format!("method cahd (weighted), p {p}: {n_groups} groups, verified\n");
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, serde_json::to_string(&release)?)?;
+        out.push_str(&format!("weighted release written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `report <release.json>`: privacy audit of a release.
+pub fn report(args: &Args) -> Result<String, CliError> {
+    let release = load_release(args.positional(0, "release.json")?)?;
+    let r = privacy_report(&release);
+    let mut out = String::new();
+    out.push_str(&format!("groups:                     {}\n", r.groups));
+    out.push_str(&format!("groups with sensitive item: {}\n", r.sensitive_groups));
+    out.push_str(&format!("group sizes:                {}..{}\n", r.min_group_size, r.max_group_size));
+    out.push_str(&format!("min privacy degree:         {:?}\n", r.min_privacy_degree));
+    out.push_str(&format!(
+        "max association probability: {:.4}\n",
+        r.max_association_probability
+    ));
+    if r.sensitive_groups > 0 {
+        out.push_str(&format!("min effective entropy-l:    {:.2}\n", r.min_effective_l));
+    }
+    Ok(out)
+}
+
+/// Flags accepted by [`verify`].
+pub const VERIFY_FLAGS: &[FlagSpec] = &[FlagSpec { name: "p", takes_value: true }];
+
+/// `verify <data.dat> <release.json> --p P`: re-check a release.
+pub fn verify(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    let release = load_release(args.positional(1, "release.json")?)?;
+    let p: usize = args.parse_or("p", 2)?;
+    let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+    match verify_published(&data, &sensitive, &release, p) {
+        Ok(()) => Ok(format!("OK: release satisfies privacy degree {p}\n")),
+        Err(e) => Err(CliError::Run(format!("verification FAILED: {e}"))),
+    }
+}
+
+/// Flags accepted by [`evaluate`].
+pub const EVALUATE_FLAGS: &[FlagSpec] = &[
+    FlagSpec { name: "r", takes_value: true },
+    FlagSpec { name: "queries", takes_value: true },
+    FlagSpec { name: "seed", takes_value: true },
+];
+
+/// `evaluate <data.dat> <release.json>`: reconstruction-error summary.
+pub fn evaluate(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    let release = load_release(args.positional(1, "release.json")?)?;
+    let r: usize = args.parse_or("r", 4)?;
+    let n_queries: usize = args.parse_or("queries", 100)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+    let queries = generate_workload_seeded(&data, &sensitive, r, n_queries, seed);
+    if queries.is_empty() {
+        return Err(CliError::Run(
+            "no queries could be generated (sensitive items absent?)".into(),
+        ));
+    }
+    let s = evaluate_workload(&data, &release, &queries);
+    Ok(format!(
+        "reconstruction error over {} queries (r = {r}): mean KL {:.4}, median {:.4}, max {:.4}, std {:.4}\n",
+        s.n_queries, s.mean_kl, s.median_kl, s.max_kl, s.std_kl
+    ))
+}
+
+fn sensitive_from_args(
+    args: &Args,
+    data: &TransactionSet,
+    p: usize,
+    seed: u64,
+) -> Result<SensitiveSet, CliError> {
+    if let Some(items) = args.parse_list("sensitive")? {
+        if let Some(&bad) = items.iter().find(|&&i| i as usize >= data.n_items()) {
+            return Err(CliError::Usage(format!(
+                "--sensitive: item {bad} out of range (universe {})",
+                data.n_items()
+            )));
+        }
+        return Ok(SensitiveSet::new(items, data.n_items()));
+    }
+    if let Some(m) = args.value("random-m") {
+        let m: usize = m
+            .parse()
+            .map_err(|_| CliError::Usage("--random-m: not a number".into()))?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        return SensitiveSet::select_random(data, m, p, &mut rng)
+            .map_err(|e| CliError::Run(e.to_string()));
+    }
+    Err(CliError::Usage(
+        "one of --sensitive <ids> or --random-m <m> is required".into(),
+    ))
+}
+
+fn load(path: &str) -> Result<TransactionSet, CliError> {
+    if !Path::new(path).exists() {
+        return Err(CliError::Run(format!("no such file: {path}")));
+    }
+    Ok(io::read_dat_file(path, None)?)
+}
+
+fn load_release(path: &str) -> Result<PublishedDataset, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Run(format!("cannot read {path}: {e}")))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("cahd_cli_{}_{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn parse(spec: &[FlagSpec], argv: &[&str]) -> Args {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v, spec).unwrap()
+    }
+
+    #[test]
+    fn generate_stats_roundtrip() {
+        let f = tmp("gen.dat");
+        let out = generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &f, "--transactions", "200", "--items", "50", "--seed", "1"],
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let s = stats(&parse(&[], &[&f])).unwrap();
+        assert!(s.contains("200 transactions"), "{s}");
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn anonymize_verify_evaluate_flow() {
+        let data_f = tmp("flow.dat");
+        let rel_f = tmp("flow.json");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &data_f, "--transactions", "400", "--items", "60", "--seed", "2"],
+        ))
+        .unwrap();
+        let out = anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "5", "--random-m", "4", "--out", &rel_f],
+        ))
+        .unwrap();
+        assert!(out.contains("verified"), "{out}");
+        let v = verify(&parse(VERIFY_FLAGS, &[&data_f, &rel_f, "--p", "5"])).unwrap();
+        assert!(v.starts_with("OK"));
+        let e = evaluate(&parse(EVALUATE_FLAGS, &[&data_f, &rel_f, "--r", "3"])).unwrap();
+        assert!(e.contains("mean KL"));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn refine_flag_produces_valid_release() {
+        let data_f = tmp("refine.dat");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &data_f, "--transactions", "400", "--items", "60", "--seed", "21"],
+        ))
+        .unwrap();
+        let out = anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "5", "--random-m", "4", "--refine"],
+        ))
+        .unwrap();
+        assert!(out.contains("verified"), "{out}");
+        std::fs::remove_file(&data_f).ok();
+    }
+
+    #[test]
+    fn all_methods_work() {
+        let data_f = tmp("methods.dat");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "3"],
+        ))
+        .unwrap();
+        for method in ["cahd", "pm", "random"] {
+            let out = anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[&data_f, "--p", "4", "--random-m", "3", "--method", method],
+            ))
+            .unwrap();
+            assert!(out.contains("verified"), "{method}: {out}");
+        }
+        std::fs::remove_file(&data_f).ok();
+    }
+
+    #[test]
+    fn audit_reports_each_k() {
+        let data_f = tmp("audit.dat");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["bms1", "--out", &data_f, "--scale", "0.005", "--seed", "4"],
+        ))
+        .unwrap();
+        let out = audit(&parse(AUDIT_FLAGS, &[&data_f, "--max-k", "2", "--trials", "500"])).unwrap();
+        assert!(out.contains("1 ->"));
+        assert!(out.contains("2 ->"));
+        std::fs::remove_file(&data_f).ok();
+    }
+
+    #[test]
+    fn weighted_anonymize_and_report() {
+        let data_f = tmp("weighted.wdat");
+        let rel_f = tmp("weighted.json");
+        // Hand-build a small .wdat: items 0..3 QID-ish, item 3 sensitive.
+        let mut lines = String::new();
+        for i in 0..60 {
+            let sens = if i % 12 == 0 { " 3:1" } else { "" };
+            lines.push_str(&format!("{}:2 {}:1{}\n", i % 2, 2, sens));
+        }
+        std::fs::write(&data_f, lines).unwrap();
+        let out = anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--weighted", "--p", "4", "--sensitive", "3", "--out", &rel_f],
+        ))
+        .unwrap();
+        assert!(out.contains("weighted"), "{out}");
+        assert!(std::fs::read_to_string(&rel_f).unwrap().contains("qid_rows"));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn report_summarizes_release() {
+        let data_f = tmp("report.dat");
+        let rel_f = tmp("report.json");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "9"],
+        ))
+        .unwrap();
+        anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "5", "--random-m", "4", "--out", &rel_f],
+        ))
+        .unwrap();
+        let out = report(&parse(&[], &[&rel_f])).unwrap();
+        assert!(out.contains("min privacy degree:         Some(5)")
+            || out.contains("min privacy degree:"), "{out}");
+        assert!(out.contains("max association probability"));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            stats(&parse(&[], &["/nonexistent/file.dat"])),
+            Err(CliError::Run(_))
+        ));
+        assert!(matches!(
+            anonymize(&parse(ANONYMIZE_FLAGS, &["/nonexistent.dat", "--p", "5"])),
+            Err(CliError::Run(_))
+        ));
+        assert!(matches!(
+            generate(&parse(GENERATE_FLAGS, &["bogus", "--out", "/tmp/x.dat"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_sensitive_items_and_strip() {
+        let data_f = tmp("strip.dat");
+        let rel_f = tmp("strip.json");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "5"],
+        ))
+        .unwrap();
+        // Find a low-support item to declare sensitive.
+        let data = load(&data_f).unwrap();
+        let supports = data.item_supports();
+        let item = (0..40u32)
+            .rfind(|&i| supports[i as usize] >= 1 && supports[i as usize] * 4 <= 300)
+            .unwrap();
+        anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[
+                &data_f, "--p", "4",
+                "--sensitive", &item.to_string(),
+                "--strip-members", "--out", &rel_f,
+            ],
+        ))
+        .unwrap();
+        let rel = load_release(&rel_f).unwrap();
+        assert!(rel.groups.iter().all(|g| g.members.is_empty()));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! The `cahd-cli` command-line tool: anonymize, audit and evaluate sparse
+//! transaction datasets from the shell.
+//!
+//! ```text
+//! cahd-cli stats     <data.dat>
+//! cahd-cli generate  {bms1|bms2|quest} --out data.dat [--scale F] [--seed N] ...
+//! cahd-cli audit     <data.dat> [--max-k K] [--trials N] [--seed N]
+//! cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
+//!                    [--method cahd|pm|random] [--alpha A] [--no-rcm]
+//!                    [--strip-members] [--out release.json] [--seed N]
+//! cahd-cli verify    <data.dat> <release.json> --p P
+//! cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
+//! ```
+//!
+//! The command functions live in [`commands`] and return strings/results so
+//! the integration tests can drive them without spawning processes; `main`
+//! is a thin argument-parsing shim ([`args`]).
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// A CLI-level failure: bad usage or a failing operation, with the message
+/// shown to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong flags/arguments; print usage too.
+    Usage(String),
+    /// The operation itself failed.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Run(format!("io error: {e}"))
+    }
+}
+
+impl From<cahd_core::CahdError> for CliError {
+    fn from(e: cahd_core::CahdError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Run(format!("json error: {e}"))
+    }
+}

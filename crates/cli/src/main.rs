@@ -1,0 +1,68 @@
+//! Thin entry point: dispatches to [`cahd_cli::commands`].
+
+use std::process::ExitCode;
+
+use cahd_cli::args::Args;
+use cahd_cli::{commands, CliError};
+
+const USAGE: &str = "\
+cahd-cli — anonymization of sparse transaction data (CAHD, ICDE 2008)
+
+usage:
+  cahd-cli stats     <data.dat>
+  cahd-cli generate  {bms1|bms2|quest} --out data.dat [--scale F] [--seed N]
+                     [--transactions N] [--items N] [--avg-len F]
+                     [--patterns N] [--correlation F]
+  cahd-cli audit     <data.dat> [--max-k K] [--trials N] [--seed N]
+                     [--release release.json]  (adds a linkage-attack audit)
+  cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
+                     [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
+                     [--weighted]  (input is .wdat item:count data)
+                     [--strip-members] [--out release.json] [--seed N]
+  cahd-cli report    <release.json>
+  cahd-cli verify    <data.dat> <release.json> --p P
+  cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "stats" => Args::parse(rest, &[]).and_then(|a| commands::stats(&a)),
+        "generate" => {
+            Args::parse(rest, commands::GENERATE_FLAGS).and_then(|a| commands::generate(&a))
+        }
+        "audit" => Args::parse(rest, commands::AUDIT_FLAGS).and_then(|a| commands::audit(&a)),
+        "anonymize" => {
+            Args::parse(rest, commands::ANONYMIZE_FLAGS).and_then(|a| commands::anonymize(&a))
+        }
+        "verify" => Args::parse(rest, commands::VERIFY_FLAGS).and_then(|a| commands::verify(&a)),
+        "report" => Args::parse(rest, &[]).and_then(|a| commands::report(&a)),
+        "evaluate" => {
+            Args::parse(rest, commands::EVALUATE_FLAGS).and_then(|a| commands::evaluate(&a))
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the anonymization pipeline.
+
+use std::fmt;
+
+/// Errors reported by the CAHD algorithm and the pipeline around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CahdError {
+    /// No partitioning with the requested privacy degree exists: some
+    /// sensitive item is too frequent (`support * p > n`).
+    Infeasible {
+        /// The offending sensitive item id.
+        item: u32,
+        /// Its number of occurrences.
+        support: usize,
+        /// The requested privacy degree.
+        p: usize,
+        /// Total number of transactions.
+        n: usize,
+    },
+    /// The requested privacy degree is degenerate (`p < 2`).
+    InvalidPrivacyDegree(usize),
+    /// The candidate-list width parameter is degenerate (`alpha < 1`).
+    InvalidAlpha(usize),
+    /// The dataset contains no transactions.
+    EmptyDataset,
+    /// The sensitive set was built over a different item universe than the
+    /// dataset.
+    UniverseMismatch {
+        /// Items in the dataset.
+        data_items: usize,
+        /// Items in the sensitive set.
+        sensitive_items: usize,
+    },
+}
+
+impl fmt::Display for CahdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CahdError::Infeasible {
+                item,
+                support,
+                p,
+                n,
+            } => write!(
+                f,
+                "no solution with privacy degree {p}: sensitive item {item} occurs {support} \
+                 times in {n} transactions ({support} * {p} > {n})"
+            ),
+            CahdError::InvalidPrivacyDegree(p) => {
+                write!(f, "privacy degree must be >= 2, got {p}")
+            }
+            CahdError::InvalidAlpha(a) => write!(f, "alpha must be >= 1, got {a}"),
+            CahdError::EmptyDataset => write!(f, "dataset contains no transactions"),
+            CahdError::UniverseMismatch {
+                data_items,
+                sensitive_items,
+            } => write!(
+                f,
+                "item universe mismatch: dataset has {data_items} items, sensitive set built \
+                 over {sensitive_items}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CahdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CahdError::Infeasible {
+            item: 3,
+            support: 40,
+            p: 10,
+            n: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("item 3"));
+        assert!(s.contains("40 * 10 > 100"));
+        assert!(CahdError::InvalidPrivacyDegree(1)
+            .to_string()
+            .contains(">= 2"));
+        assert!(CahdError::EmptyDataset.to_string().contains("no transactions"));
+    }
+}

@@ -1,0 +1,118 @@
+//! The remaining-occurrence histogram (line 1 of the paper's Fig. 8).
+//!
+//! CAHD keeps, for every sensitive item, the number of occurrences among
+//! the *not yet grouped* transactions. After tentatively forming a group it
+//! checks `H[s] * p <= remaining` for every `s` (line 8): if the check
+//! holds, the leftover transactions can always be published as one final
+//! group with privacy degree `p`, so the greedy choice is safe; otherwise
+//! the group is rolled back.
+
+/// Per-sensitive-item occurrence counts over the ungrouped transactions,
+/// indexed by sensitive-item rank (see `cahd_data::SensitiveSet::index_of`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SensitiveHistogram {
+    counts: Vec<usize>,
+}
+
+impl SensitiveHistogram {
+    /// Builds a histogram from initial occurrence counts.
+    pub fn new(counts: Vec<usize>) -> Self {
+        SensitiveHistogram { counts }
+    }
+
+    /// Number of tracked sensitive items.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no sensitive items are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Remaining occurrences of the item with rank `r`.
+    #[inline]
+    pub fn count(&self, r: usize) -> usize {
+        self.counts[r]
+    }
+
+    /// Records that one occurrence of rank `r` left the ungrouped pool.
+    ///
+    /// # Panics
+    /// Panics on underflow — that would mean the caller double-removed a
+    /// transaction.
+    #[inline]
+    pub fn remove_occurrence(&mut self, r: usize) {
+        self.counts[r] = self.counts[r]
+            .checked_sub(1)
+            .expect("histogram underflow: occurrence removed twice");
+    }
+
+    /// Rolls back a removal.
+    #[inline]
+    pub fn restore_occurrence(&mut self, r: usize) {
+        self.counts[r] += 1;
+    }
+
+    /// The feasibility check of Fig. 8 line 8: no sensitive item may have
+    /// `count * p > remaining`, where `remaining` is the number of
+    /// ungrouped transactions.
+    pub fn feasible(&self, p: usize, remaining: usize) -> bool {
+        self.counts.iter().all(|&c| c * p <= remaining)
+    }
+
+    /// The rank and count of the most frequent remaining item, or `None`
+    /// when all counts are zero.
+    pub fn most_frequent(&self) -> Option<(usize, usize)> {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_check() {
+        let h = SensitiveHistogram::new(vec![3, 1]);
+        assert!(h.feasible(3, 9));
+        assert!(!h.feasible(3, 8));
+        assert!(h.feasible(1, 3));
+    }
+
+    #[test]
+    fn remove_and_restore() {
+        let mut h = SensitiveHistogram::new(vec![2]);
+        h.remove_occurrence(0);
+        assert_eq!(h.count(0), 1);
+        h.restore_occurrence(0);
+        assert_eq!(h.count(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut h = SensitiveHistogram::new(vec![0]);
+        h.remove_occurrence(0);
+    }
+
+    #[test]
+    fn most_frequent() {
+        let h = SensitiveHistogram::new(vec![1, 5, 3]);
+        assert_eq!(h.most_frequent(), Some((1, 5)));
+        let empty = SensitiveHistogram::new(vec![0, 0]);
+        assert_eq!(empty.most_frequent(), None);
+    }
+
+    #[test]
+    fn empty_histogram_always_feasible() {
+        let h = SensitiveHistogram::new(vec![]);
+        assert!(h.is_empty());
+        assert!(h.feasible(100, 0));
+    }
+}

@@ -1,0 +1,185 @@
+//! The linked-list order structure over band-ordered transactions.
+//!
+//! CAHD repeatedly removes grouped transactions from the sequence and walks
+//! predecessors/successors of a pivot while skipping removed entries. A
+//! doubly-linked list over the slot indices gives O(1) removal and O(1)
+//! next/prev-alive steps (the "linked-list data representation" of
+//! Section IV).
+
+/// Sentinel for "no neighbor".
+const NIL: u32 = u32::MAX;
+
+/// A doubly-linked list over slots `0..n` supporting O(1) removal.
+#[derive(Clone, Debug)]
+pub struct OrderList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    alive: Vec<bool>,
+    head: u32,
+    len: usize,
+}
+
+impl OrderList {
+    /// Creates the list `0 -> 1 -> ... -> n-1`, all alive.
+    pub fn new(n: usize) -> Self {
+        assert!(n < NIL as usize, "too many slots");
+        let prev: Vec<u32> = (0..n as u32)
+            .map(|i| if i == 0 { NIL } else { i - 1 })
+            .collect();
+        let next: Vec<u32> = (0..n as u32)
+            .map(|i| if i + 1 == n as u32 { NIL } else { i + 1 })
+            .collect();
+        OrderList {
+            prev,
+            next,
+            alive: vec![true; n],
+            head: if n == 0 { NIL } else { 0 },
+            len: n,
+        }
+    }
+
+    /// Number of alive slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are alive.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `i` is still in the list.
+    #[inline]
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// The first alive slot, if any.
+    pub fn first(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head as usize)
+    }
+
+    /// The alive slot after `i` (which must itself be alive).
+    #[inline]
+    pub fn next(&self, i: usize) -> Option<usize> {
+        debug_assert!(self.alive[i], "next() of a removed slot");
+        let n = self.next[i];
+        (n != NIL).then_some(n as usize)
+    }
+
+    /// The alive slot before `i` (which must itself be alive).
+    #[inline]
+    pub fn prev(&self, i: usize) -> Option<usize> {
+        debug_assert!(self.alive[i], "prev() of a removed slot");
+        let p = self.prev[i];
+        (p != NIL).then_some(p as usize)
+    }
+
+    /// Removes slot `i` from the list.
+    ///
+    /// # Panics
+    /// Panics if `i` was already removed.
+    pub fn remove(&mut self, i: usize) {
+        assert!(self.alive[i], "slot {i} removed twice");
+        self.alive[i] = false;
+        self.len -= 1;
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Iterates over all alive slots in order.
+    pub fn iter(&self) -> OrderIter<'_> {
+        OrderIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+/// Iterator over alive slots of an [`OrderList`].
+pub struct OrderIter<'a> {
+    list: &'a OrderList,
+    cur: u32,
+}
+
+impl Iterator for OrderIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == NIL {
+            return None;
+        }
+        let v = self.cur as usize;
+        self.cur = self.list.next[v];
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_order() {
+        let l = OrderList::new(4);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.first(), Some(0));
+    }
+
+    #[test]
+    fn removal_links_neighbors() {
+        let mut l = OrderList::new(5);
+        l.remove(2);
+        assert_eq!(l.next(1), Some(3));
+        assert_eq!(l.prev(3), Some(1));
+        assert!(!l.is_alive(2));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = OrderList::new(3);
+        l.remove(0);
+        assert_eq!(l.first(), Some(1));
+        l.remove(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(l.next(1), None);
+        assert_eq!(l.prev(1), None);
+    }
+
+    #[test]
+    fn remove_all() {
+        let mut l = OrderList::new(3);
+        for i in 0..3 {
+            l.remove(i);
+        }
+        assert!(l.is_empty());
+        assert_eq!(l.first(), None);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "removed twice")]
+    fn double_remove_panics() {
+        let mut l = OrderList::new(2);
+        l.remove(1);
+        l.remove(1);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = OrderList::new(0);
+        assert!(l.is_empty());
+        assert_eq!(l.first(), None);
+    }
+}

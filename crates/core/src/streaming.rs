@@ -1,0 +1,255 @@
+//! Batched (streaming) anonymization.
+//!
+//! Transaction logs grow continuously; re-anonymizing the full history for
+//! every release is wasteful, and the paper's pipeline is a batch
+//! algorithm. [`StreamingAnonymizer`] wraps it for append-only streams:
+//! transactions are buffered, and whenever a batch is full (or on
+//! [`StreamingAnonymizer::finish`]) the batch is anonymized with the usual
+//! RCM + CAHD pipeline and emitted as an independent release chunk.
+//!
+//! Two properties make per-batch processing sound:
+//!
+//! * privacy composes: each chunk satisfies degree `p` on its own, and
+//!   chunks are disjoint, so the union does too (an attacker knowing the
+//!   batch boundaries learns nothing beyond the per-chunk releases);
+//! * feasibility may fail for a batch even when the stream is globally
+//!   feasible (a burst of one sensitive item). Rather than failing, the
+//!   offending *sensitive transactions* are carried over to the next
+//!   batch, where the burst has diluted.
+
+use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+
+use crate::error::CahdError;
+use crate::group::PublishedDataset;
+use crate::pipeline::{Anonymizer, AnonymizerConfig};
+
+/// A released chunk: the batch's transactions (with their stream
+/// positions) and the anonymized groups over them.
+#[derive(Debug)]
+pub struct ReleaseChunk {
+    /// Stream positions of the batch's transactions; group members index
+    /// into this vector.
+    pub stream_ids: Vec<u64>,
+    /// The anonymized release of the batch.
+    pub published: PublishedDataset,
+}
+
+/// Buffers a transaction stream and anonymizes it batch by batch.
+pub struct StreamingAnonymizer {
+    config: AnonymizerConfig,
+    sensitive: SensitiveSet,
+    batch_size: usize,
+    buffer: Vec<(u64, Vec<ItemId>)>,
+    /// Transactions deferred from an infeasible batch, prepended to the
+    /// next one.
+    stash: Vec<(u64, Vec<ItemId>)>,
+    next_id: u64,
+    /// Total occurrences carried over so far, for monitoring.
+    carried_over: usize,
+}
+
+impl StreamingAnonymizer {
+    /// Creates a streaming wrapper. `batch_size` must be at least
+    /// `2 * p` so batches can hold at least two groups.
+    ///
+    /// # Panics
+    /// Panics if `batch_size < 2 * p`.
+    pub fn new(config: AnonymizerConfig, sensitive: SensitiveSet, batch_size: usize) -> Self {
+        assert!(
+            batch_size >= 2 * config.cahd.p,
+            "batch_size must be at least 2p"
+        );
+        StreamingAnonymizer {
+            config,
+            sensitive,
+            batch_size,
+            buffer: Vec::new(),
+            stash: Vec::new(),
+            next_id: 0,
+            carried_over: 0,
+        }
+    }
+
+    /// Number of buffered (not yet released) transactions.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total sensitive transactions deferred to a later batch so far.
+    pub fn carried_over(&self) -> usize {
+        self.carried_over
+    }
+
+    /// Appends a transaction; returns a release chunk when a batch
+    /// completed.
+    pub fn push(&mut self, items: Vec<ItemId>) -> Result<Option<ReleaseChunk>, CahdError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buffer.push((id, items));
+        if self.buffer.len() >= self.batch_size {
+            self.release_batch(false).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Flushes the remaining buffer as a final chunk (no carry-over
+    /// allowed: infeasibility is now a hard error the caller must handle,
+    /// e.g. with [`crate::suppress::enforce_feasibility`]).
+    pub fn finish(mut self) -> Result<Option<ReleaseChunk>, CahdError> {
+        self.buffer.append(&mut self.stash);
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        self.release_batch(true).map(Some)
+    }
+
+    fn release_batch(&mut self, final_flush: bool) -> Result<ReleaseChunk, CahdError> {
+        let p = self.config.cahd.p;
+        let n_items = self.sensitive.n_items();
+        loop {
+            let rows: Vec<Vec<ItemId>> = self.buffer.iter().map(|(_, r)| r.clone()).collect();
+            let data = TransactionSet::from_rows(&rows, n_items);
+            let counts = self.sensitive.occurrence_counts(&data);
+            // Find the worst offender, if any.
+            let offender = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c * p > data.n_transactions())
+                .max_by_key(|&(_, &c)| c)
+                .map(|(r, _)| self.sensitive.items()[r]);
+            match offender {
+                None => {
+                    let result = Anonymizer::new(self.config)
+                        .anonymize(&data, &self.sensitive)?;
+                    let stream_ids: Vec<u64> = self.buffer.iter().map(|&(id, _)| id).collect();
+                    // Deferred transactions open the next batch.
+                    self.buffer = std::mem::take(&mut self.stash);
+                    return Ok(ReleaseChunk {
+                        stream_ids,
+                        published: result.published,
+                    });
+                }
+                Some(item) if !final_flush => {
+                    // Defer one transaction holding the offender to the
+                    // next batch and retry.
+                    let pos = self
+                        .buffer
+                        .iter()
+                        .rposition(|(_, r)| r.contains(&item))
+                        .expect("offender has holders");
+                    let deferred = self.buffer.remove(pos);
+                    self.carried_over += 1;
+                    self.stash.push(deferred);
+                }
+                Some(item) => {
+                    let support = counts[self.sensitive.index_of(item).unwrap()];
+                    return Err(CahdError::Infeasible {
+                        item,
+                        support,
+                        p,
+                        n: data.n_transactions(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_published;
+
+    fn sensitive() -> SensitiveSet {
+        SensitiveSet::new(vec![9], 10)
+    }
+
+    fn config(p: usize) -> AnonymizerConfig {
+        AnonymizerConfig::with_privacy_degree(p)
+    }
+
+    #[test]
+    fn batches_release_and_verify() {
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        let mut chunks = Vec::new();
+        for i in 0..20u32 {
+            let mut row = vec![i % 4];
+            if i % 8 == 0 {
+                row.push(9);
+            }
+            if let Some(chunk) = s.push(row).unwrap() {
+                chunks.push(chunk);
+            }
+        }
+        if let Some(chunk) = s.finish().unwrap() {
+            chunks.push(chunk);
+        }
+        assert_eq!(chunks.len(), 3); // 8 + 8 + 4
+        let total: usize = chunks.iter().map(|c| c.stream_ids.len()).sum();
+        assert_eq!(total, 20);
+        for c in &chunks {
+            assert!(c.published.satisfies(2));
+            // Rebuild the batch data from the stream and verify fully.
+            let rows: Vec<Vec<u32>> = c
+                .stream_ids
+                .iter()
+                .map(|&id| {
+                    let mut row = vec![(id as u32) % 4];
+                    if id % 8 == 0 {
+                        row.push(9);
+                    }
+                    row
+                })
+                .collect();
+            let data = TransactionSet::from_rows(&rows, 10);
+            verify_published(&data, &sensitive(), &c.published, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn burst_is_carried_over() {
+        // First batch: 3 sensitive among 6 (infeasible for p = 3: 3*3 > 6);
+        // later traffic dilutes it.
+        let mut s = StreamingAnonymizer::new(config(3), sensitive(), 6);
+        let mut rows: Vec<Vec<u32>> = vec![vec![0, 9], vec![1, 9], vec![2, 9]];
+        rows.extend((0..15).map(|i| vec![i % 4]));
+        let mut chunks = Vec::new();
+        for row in rows {
+            if let Some(c) = s.push(row).unwrap() {
+                chunks.push(c);
+            }
+        }
+        assert!(s.carried_over() > 0);
+        if let Some(c) = s.finish().unwrap() {
+            chunks.push(c);
+        }
+        let total: usize = chunks.iter().map(|c| c.stream_ids.len()).sum();
+        assert_eq!(total, 18);
+        for c in &chunks {
+            assert!(c.published.satisfies(3));
+        }
+    }
+
+    #[test]
+    fn final_flush_infeasible_is_error() {
+        let mut s = StreamingAnonymizer::new(config(3), sensitive(), 6);
+        for _ in 0..4 {
+            assert!(s.push(vec![0, 9]).unwrap().is_none());
+        }
+        let err = s.finish().unwrap_err();
+        assert!(matches!(err, CahdError::Infeasible { item: 9, .. }));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = StreamingAnonymizer::new(config(2), sensitive(), 10);
+        assert!(s.finish().unwrap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2p")]
+    fn tiny_batch_rejected() {
+        StreamingAnonymizer::new(config(5), sensitive(), 9);
+    }
+}

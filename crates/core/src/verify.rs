@@ -1,0 +1,258 @@
+//! Independent verification of a published dataset.
+//!
+//! [`verify_published`] re-derives every property a release must have from
+//! the original data, without trusting the algorithm that produced it:
+//! coverage (every transaction in exactly one group), faithful QID
+//! publication, correct sensitive summaries, and the privacy degree.
+//! Both CAHD and the baselines are checked through this single gate in the
+//! test suites and the experiment harness.
+
+use std::fmt;
+
+use cahd_data::{SensitiveSet, TransactionSet};
+
+use crate::group::PublishedDataset;
+
+/// A violated release property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerificationError {
+    /// A transaction appears in zero or multiple groups.
+    Coverage {
+        /// The transaction index.
+        transaction: usize,
+        /// How many groups contain it.
+        times_seen: usize,
+    },
+    /// The number of published transactions differs from the original.
+    Cardinality {
+        /// Original transaction count.
+        expected: usize,
+        /// Published transaction count.
+        actual: usize,
+    },
+    /// A published QID row does not match the original transaction's QID
+    /// items.
+    QidMismatch {
+        /// Group index.
+        group: usize,
+        /// Member position within the group.
+        member: usize,
+    },
+    /// A group's sensitive summary does not match its members.
+    SensitiveCountMismatch {
+        /// Group index.
+        group: usize,
+    },
+    /// A group violates the privacy degree.
+    PrivacyViolation {
+        /// Group index.
+        group: usize,
+        /// The group's actual degree (None = unbounded, can't happen here).
+        degree: Option<usize>,
+        /// The required degree.
+        required: usize,
+    },
+    /// The release's sensitive-item list differs from the sensitive set.
+    SensitiveItemsMismatch,
+}
+
+impl fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerificationError::Coverage {
+                transaction,
+                times_seen,
+            } => write!(f, "transaction {transaction} appears in {times_seen} groups"),
+            VerificationError::Cardinality { expected, actual } => {
+                write!(f, "published {actual} transactions, expected {expected}")
+            }
+            VerificationError::QidMismatch { group, member } => {
+                write!(f, "group {group}, member {member}: QID row mismatch")
+            }
+            VerificationError::SensitiveCountMismatch { group } => {
+                write!(f, "group {group}: sensitive summary mismatch")
+            }
+            VerificationError::PrivacyViolation {
+                group,
+                degree,
+                required,
+            } => write!(
+                f,
+                "group {group} has privacy degree {degree:?}, required {required}"
+            ),
+            VerificationError::SensitiveItemsMismatch => {
+                write!(f, "published sensitive-item list mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Verifies `published` against the original `data`, the sensitive set and
+/// a required privacy degree `p`. Returns the first violation found.
+pub fn verify_published(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    published: &PublishedDataset,
+    p: usize,
+) -> Result<(), VerificationError> {
+    if published.sensitive_items != sensitive.items() {
+        return Err(VerificationError::SensitiveItemsMismatch);
+    }
+    let n = data.n_transactions();
+    if published.n_transactions() != n {
+        return Err(VerificationError::Cardinality {
+            expected: n,
+            actual: published.n_transactions(),
+        });
+    }
+
+    // Coverage.
+    let mut seen = vec![0usize; n];
+    for g in &published.groups {
+        for &mt in &g.members {
+            if (mt as usize) < n {
+                seen[mt as usize] += 1;
+            } else {
+                return Err(VerificationError::Coverage {
+                    transaction: mt as usize,
+                    times_seen: 0,
+                });
+            }
+        }
+    }
+    for (t, &c) in seen.iter().enumerate() {
+        if c != 1 {
+            return Err(VerificationError::Coverage {
+                transaction: t,
+                times_seen: c,
+            });
+        }
+    }
+
+    for (gi, g) in published.groups.iter().enumerate() {
+        // QID rows and sensitive counts must match the members.
+        let mut counts: Vec<u32> = vec![0; sensitive.len()];
+        for (k, &mt) in g.members.iter().enumerate() {
+            let (qid, sens_ranks) = sensitive.split_transaction(data.transaction(mt as usize));
+            if g.qid_rows.get(k) != Some(&qid) {
+                return Err(VerificationError::QidMismatch {
+                    group: gi,
+                    member: k,
+                });
+            }
+            for r in sens_ranks {
+                counts[r] += 1;
+            }
+        }
+        let expected: Vec<(u32, u32)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(r, &c)| (sensitive.items()[r], c))
+            .collect();
+        if expected != g.sensitive_counts {
+            return Err(VerificationError::SensitiveCountMismatch { group: gi });
+        }
+        // Privacy.
+        if !g.satisfies(p) {
+            return Err(VerificationError::PrivacyViolation {
+                group: gi,
+                degree: g.privacy_degree(),
+                required: p,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cahd::{cahd, CahdConfig};
+    use crate::group::AnonymizedGroup;
+
+    fn setup() -> (TransactionSet, SensitiveSet, PublishedDataset) {
+        let data = TransactionSet::from_rows(
+            &[vec![0, 1, 4], vec![0, 1], vec![2, 3], vec![2, 3, 5]],
+            6,
+        );
+        let sens = SensitiveSet::new(vec![4, 5], 6);
+        let (pub_, _) = cahd(&data, &sens, &CahdConfig::new(2)).unwrap();
+        (data, sens, pub_)
+    }
+
+    #[test]
+    fn valid_release_passes() {
+        let (data, sens, pub_) = setup();
+        verify_published(&data, &sens, &pub_, 2).unwrap();
+    }
+
+    #[test]
+    fn detects_privacy_violation() {
+        let (data, sens, pub_) = setup();
+        let err = verify_published(&data, &sens, &pub_, 10).unwrap_err();
+        assert!(matches!(err, VerificationError::PrivacyViolation { .. }));
+    }
+
+    #[test]
+    fn detects_missing_transaction() {
+        let (data, sens, mut pub_) = setup();
+        pub_.groups[0].members[0] = pub_.groups[0].members[1];
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert!(matches!(err, VerificationError::Coverage { .. }));
+    }
+
+    #[test]
+    fn detects_tampered_qid() {
+        let (data, sens, mut pub_) = setup();
+        pub_.groups[0].qid_rows[0] = vec![5];
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert!(matches!(err, VerificationError::QidMismatch { group: 0, member: 0 }));
+    }
+
+    #[test]
+    fn detects_wrong_sensitive_summary() {
+        let (data, sens, mut pub_) = setup();
+        // Tamper with whichever group has a sensitive count.
+        let gi = pub_
+            .groups
+            .iter()
+            .position(|g| !g.sensitive_counts.is_empty())
+            .unwrap();
+        pub_.groups[gi].sensitive_counts[0].1 += 1;
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert!(matches!(err, VerificationError::SensitiveCountMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_cardinality_mismatch() {
+        let (data, sens, mut pub_) = setup();
+        pub_.groups.push(AnonymizedGroup {
+            members: vec![0],
+            qid_rows: vec![vec![0, 1]],
+            sensitive_counts: vec![],
+        });
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert!(matches!(err, VerificationError::Cardinality { .. }));
+    }
+
+    #[test]
+    fn detects_sensitive_list_mismatch() {
+        let (data, sens, mut pub_) = setup();
+        pub_.sensitive_items = vec![1];
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert_eq!(err, VerificationError::SensitiveItemsMismatch);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = VerificationError::PrivacyViolation {
+            group: 1,
+            degree: Some(2),
+            required: 4,
+        };
+        assert!(e.to_string().contains("group 1"));
+    }
+}

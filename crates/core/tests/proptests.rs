@@ -1,0 +1,191 @@
+//! Property-based tests: CAHD must uphold its invariants on arbitrary
+//! (feasible) inputs.
+
+use cahd_core::{cahd, verify_published, CahdConfig, CahdError};
+use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+use cahd_data::{SensitiveSet, TransactionSet};
+use proptest::prelude::*;
+
+/// A random dataset plus a sensitive set and a privacy degree.
+fn arb_instance() -> impl Strategy<Value = (TransactionSet, SensitiveSet, usize)> {
+    (10usize..60, 5usize..15, 2usize..5).prop_flat_map(|(n, d, p)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0..d as u32, 1..6),
+                n..=n,
+            ),
+            proptest::collection::btree_set(0..d as u32, 1..3),
+            Just(d),
+            Just(p),
+        )
+            .prop_map(|(rows, sens_items, d, p)| {
+                let data = TransactionSet::from_rows(&rows, d);
+                let sens = SensitiveSet::new(sens_items.into_iter().collect(), d);
+                (data, sens, p)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cahd_output_verifies_or_is_infeasible((data, sens, p) in arb_instance()) {
+        match cahd(&data, &sens, &CahdConfig::new(p)) {
+            Ok((published, stats)) => {
+                prop_assert!(verify_published(&data, &sens, &published, p).is_ok());
+                // Regular groups have size exactly p.
+                let regular = published.groups.len()
+                    - usize::from(stats.fallback_group_size > 0);
+                for g in published.groups.iter().take(regular) {
+                    prop_assert_eq!(g.size(), p);
+                }
+            }
+            Err(CahdError::Infeasible { item, support, .. }) => {
+                // Infeasibility must be real.
+                let rank = sens.index_of(item).unwrap();
+                let counts = sens.occurrence_counts(&data);
+                prop_assert_eq!(counts[rank], support);
+                prop_assert!(support * p > data.n_transactions());
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn feasible_instances_always_succeed((data, sens, p) in arb_instance()) {
+        let counts = sens.occurrence_counts(&data);
+        let feasible = counts.iter().all(|&c| c * p <= data.n_transactions());
+        prop_assume!(feasible);
+        // Guaranteed-solution claim of Section IV: if a solution exists,
+        // the one-occurrence heuristic finds one.
+        let (published, _) = cahd(&data, &sens, &CahdConfig::new(p)).unwrap();
+        prop_assert!(published.satisfies(p));
+    }
+
+    #[test]
+    fn pipeline_matches_direct_cahd_privacy((data, sens, p) in arb_instance()) {
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        let res = Anonymizer::new(AnonymizerConfig::with_privacy_degree(p))
+            .anonymize(&data, &sens)
+            .unwrap();
+        prop_assert!(verify_published(&data, &sens, &res.published, p).is_ok());
+    }
+
+    #[test]
+    fn suppression_always_restores_feasibility((data, sens, p) in arb_instance()) {
+        use cahd_core::enforce_feasibility;
+        let (fixed, report) = enforce_feasibility(&data, &sens, p, 99);
+        let counts = sens.occurrence_counts(&fixed);
+        let n = fixed.n_transactions();
+        prop_assert_eq!(n, data.n_transactions());
+        for &c in &counts {
+            prop_assert!(c * p <= n);
+        }
+        // Suppression count matches the excess exactly.
+        let orig = sens.occurrence_counts(&data);
+        let expected: usize = orig.iter().map(|&c| c.saturating_sub(n / p)).sum();
+        prop_assert_eq!(report.total(), expected);
+        // The repaired data always anonymizes.
+        let (published, _) = cahd(&fixed, &sens, &CahdConfig::new(p)).unwrap();
+        prop_assert!(verify_published(&fixed, &sens, &published, p).is_ok());
+    }
+
+    #[test]
+    fn weighted_presence_equals_binary((data, sens, p) in arb_instance()) {
+        use cahd_core::weighted::{cahd_weighted, verify_weighted, WeightedSimilarity};
+        use cahd_data::WeightedTransactionSet;
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        // Lift to weighted with all-ones counts: grouping must match the
+        // binary algorithm exactly under the presence scorer.
+        let rows: Vec<Vec<(u32, u32)>> = data
+            .iter()
+            .map(|t| t.iter().map(|&i| (i, 1)).collect())
+            .collect();
+        let wdata = WeightedTransactionSet::from_rows(&rows, data.n_items());
+        let (wpub, _) = cahd_weighted(
+            &wdata,
+            &sens,
+            &CahdConfig::new(p),
+            WeightedSimilarity::PresenceOverlap,
+        )
+        .unwrap();
+        prop_assert!(verify_weighted(&wdata, &sens, &wpub, p).is_ok());
+        let (bpub, _) = cahd(&data, &sens, &CahdConfig::new(p)).unwrap();
+        let wm: Vec<Vec<u32>> = wpub.groups.iter().map(|g| g.members.clone()).collect();
+        let bm: Vec<Vec<u32>> = bpub.groups.iter().map(|g| g.members.clone()).collect();
+        prop_assert_eq!(wm, bm);
+    }
+
+    #[test]
+    fn streaming_chunks_all_verify((data, sens, p) in arb_instance()) {
+        use cahd_core::StreamingAnonymizer;
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        let batch = (2 * p).max(8);
+        let mut s = StreamingAnonymizer::new(
+            AnonymizerConfig::with_privacy_degree(p),
+            sens.clone(),
+            batch,
+        );
+        let mut chunks = Vec::new();
+        let mut ok = true;
+        for t in 0..data.n_transactions() {
+            match s.push(data.transaction(t).to_vec()) {
+                Ok(Some(c)) => chunks.push(c),
+                Ok(None) => {}
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            match s.finish() {
+                Ok(Some(c)) => chunks.push(c),
+                Ok(None) => {}
+                Err(_) => ok = false,
+            }
+        }
+        // A batch-infeasible stream may legitimately fail at the final
+        // flush; when it succeeds, coverage and privacy must hold.
+        prop_assume!(ok);
+        let total: usize = chunks.iter().map(|c| c.stream_ids.len()).sum();
+        prop_assert_eq!(total, data.n_transactions());
+        let mut seen = vec![false; data.n_transactions()];
+        for c in &chunks {
+            prop_assert!(c.published.satisfies(p));
+            for &id in &c.stream_ids {
+                prop_assert!(!seen[id as usize], "stream id {} twice", id);
+                seen[id as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_preserves_validity_and_objective((data, sens, p) in arb_instance()) {
+        use cahd_core::{intra_group_overlap, refine_groups};
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        let (mut published, _) = cahd(&data, &sens, &CahdConfig::new(p)).unwrap();
+        let before = intra_group_overlap(&published);
+        let stats = refine_groups(&mut published, &data, &sens, p, 2, 3);
+        let after = intra_group_overlap(&published);
+        prop_assert!(after >= before);
+        prop_assert_eq!(after - before, stats.objective_gain);
+        prop_assert!(verify_published(&data, &sens, &published, p).is_ok());
+    }
+
+    #[test]
+    fn alpha_only_changes_quality_not_privacy((data, sens, p) in arb_instance()) {
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        for alpha in [1usize, 2, 5] {
+            let (published, _) =
+                cahd(&data, &sens, &CahdConfig::new(p).with_alpha(alpha)).unwrap();
+            prop_assert!(verify_published(&data, &sens, &published, p).is_ok());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Readers and writers for the standard `.dat` basket format.
+//!
+//! One transaction per line, whitespace-separated non-negative integer item
+//! ids — the format of the FIMI repository and the original BMS-WebView
+//! files, so real datasets can replace the synthetic profiles directly.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::transaction::{ItemId, TransactionSet};
+
+/// Reads a `.dat` basket stream. The item universe is `0..=max_id` unless
+/// `n_items` forces a larger one.
+///
+/// Lines that are empty or start with `#` are skipped. Item ids must parse
+/// as `u32`.
+pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<TransactionSet> {
+    let mut rows: Vec<Vec<ItemId>> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut row: Vec<ItemId> = Vec::new();
+        for tok in trimmed.split_ascii_whitespace() {
+            let id: u32 = tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad item id {tok:?}: {e}", lineno + 1),
+                )
+            })?;
+            max_id = max_id.max(id as u64);
+            row.push(id);
+        }
+        rows.push(row);
+    }
+    let inferred = if rows.iter().all(|r| r.is_empty()) {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let d = n_items.unwrap_or(0).max(inferred);
+    Ok(TransactionSet::from_rows(&rows, d))
+}
+
+/// Reads a `.dat` basket file from disk.
+pub fn read_dat_file<P: AsRef<Path>>(path: P, n_items: Option<usize>) -> io::Result<TransactionSet> {
+    read_dat(BufReader::new(File::open(path)?), n_items)
+}
+
+/// Writes a transaction set in `.dat` format.
+pub fn write_dat<W: Write>(mut writer: W, data: &TransactionSet) -> io::Result<()> {
+    for txn in data.iter() {
+        let mut first = true;
+        for &item in txn {
+            if !first {
+                writer.write_all(b" ")?;
+            }
+            first = false;
+            write!(writer, "{item}")?;
+        }
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Writes a transaction set to a `.dat` file on disk.
+pub fn write_dat_file<P: AsRef<Path>>(path: P, data: &TransactionSet) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_dat(&mut w, data)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let t = TransactionSet::from_rows(&[vec![3, 1], vec![], vec![2]], 4);
+        let mut buf = Vec::new();
+        write_dat(&mut buf, &t).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "1 3\n\n2\n");
+        // Note: empty lines are skipped on read, so re-read drops empty
+        // transactions — callers keep them only through the binary model.
+        let back = read_dat(Cursor::new(&buf), Some(4)).unwrap();
+        assert_eq!(back.n_transactions(), 2);
+        assert_eq!(back.transaction(0), &[1, 3]);
+        assert_eq!(back.transaction(1), &[2]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "# header\n\n5 2 5\n";
+        let t = read_dat(Cursor::new(src), None).unwrap();
+        assert_eq!(t.n_transactions(), 1);
+        assert_eq!(t.transaction(0), &[2, 5]);
+        assert_eq!(t.n_items(), 6);
+    }
+
+    #[test]
+    fn n_items_override_grows_universe() {
+        let t = read_dat(Cursor::new("1\n"), Some(100)).unwrap();
+        assert_eq!(t.n_items(), 100);
+        // But the inferred size wins when larger.
+        let t2 = read_dat(Cursor::new("7\n"), Some(2)).unwrap();
+        assert_eq!(t2.n_items(), 8);
+    }
+
+    #[test]
+    fn bad_token_is_an_error() {
+        let err = read_dat(Cursor::new("1 x 2\n"), None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = TransactionSet::from_rows(&[vec![0, 9], vec![4]], 10);
+        let path = std::env::temp_dir().join(format!("cahd_io_test_{}.dat", std::process::id()));
+        write_dat_file(&path, &t).unwrap();
+        let back = read_dat_file(&path, Some(10)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = read_dat(Cursor::new(""), None).unwrap();
+        assert_eq!(t.n_transactions(), 0);
+        assert_eq!(t.n_items(), 0);
+    }
+}

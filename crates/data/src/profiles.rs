@@ -1,0 +1,150 @@
+//! Ready-made dataset profiles mirroring the paper's workloads.
+//!
+//! The BMS-WebView datasets are not redistributable; these profiles
+//! configure the Quest-style generator to match their published
+//! characteristics (Table I): transaction count, item universe, average
+//! and maximum transaction length. Sparsity and the skewed, correlated
+//! item-usage structure come from the Quest model itself. All profiles are
+//! deterministic given a seed and support a `scale` factor on the
+//! transaction count so the experiment suite can be run quickly.
+
+use crate::quest::{QuestConfig, QuestGenerator};
+use crate::transaction::TransactionSet;
+
+/// Quest configuration matching BMS-WebView-1 (59,602 transactions, 497
+/// items, avg length 2.5, max length 267).
+pub fn bms1_config(scale: f64) -> QuestConfig {
+    QuestConfig {
+        n_transactions: scaled(59_602, scale),
+        n_items: 497,
+        avg_txn_len: 2.1, // calibrated: dedup/corruption shrink baskets
+        max_txn_len: 267,
+        n_patterns: 450,
+        avg_pattern_len: 2.5,
+        correlation: 0.5,
+        corruption_mean: 0.5,
+        corruption_sd: 0.1,
+        item_skew: 0.0,
+        tail_prob: 0.004,
+        tail_len_mean: 55.0,
+    }
+}
+
+/// Quest configuration matching BMS-WebView-2 (77,512 transactions, 3,340
+/// items, avg length 5.0, max length 161).
+pub fn bms2_config(scale: f64) -> QuestConfig {
+    QuestConfig {
+        n_transactions: scaled(77_512, scale),
+        n_items: 3_340,
+        avg_txn_len: 4.0,
+        max_txn_len: 161,
+        n_patterns: 800,
+        avg_pattern_len: 3.5,
+        correlation: 0.5,
+        corruption_mean: 0.5,
+        corruption_sd: 0.1,
+        item_skew: 0.0,
+        tail_prob: 0.008,
+        tail_len_mean: 45.0,
+    }
+}
+
+/// The Fig. 6 workload: a square 1000 x 1000 matrix with ~20 items per
+/// transaction and a controllable correlation degree (0.1 / 0.5 / 0.9 in
+/// the paper).
+pub fn fig6_config(correlation: f64) -> QuestConfig {
+    QuestConfig {
+        n_transactions: 1_000,
+        n_items: 1_000,
+        avg_txn_len: 20.0,
+        max_txn_len: usize::MAX,
+        n_patterns: 60,
+        avg_pattern_len: 8.0,
+        correlation,
+        corruption_mean: 0.35,
+        corruption_sd: 0.1,
+        item_skew: 0.0,
+        tail_prob: 0.0,
+        tail_len_mean: 50.0,
+    }
+}
+
+/// Generates a BMS1-like dataset.
+pub fn bms1_like(scale: f64, seed: u64) -> TransactionSet {
+    QuestGenerator::new(bms1_config(scale), seed).generate()
+}
+
+/// Generates a BMS2-like dataset.
+pub fn bms2_like(scale: f64, seed: u64) -> TransactionSet {
+    QuestGenerator::new(bms2_config(scale), seed).generate()
+}
+
+/// Generates the Fig. 6 workload for a given correlation degree.
+pub fn fig6_like(correlation: f64, seed: u64) -> TransactionSet {
+    QuestGenerator::new(fig6_config(correlation), seed).generate()
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    assert!(scale > 0.0, "scale must be positive");
+    ((n as f64 * scale).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn bms1_profile_matches_table1_shape() {
+        let t = bms1_like(0.05, 7);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, (59_602f64 * 0.05).round() as usize);
+        assert_eq!(s.items, 497);
+        assert!(s.max_length <= 267);
+        assert!(
+            s.avg_length > 1.5 && s.avg_length < 4.0,
+            "avg {}",
+            s.avg_length
+        );
+    }
+
+    #[test]
+    fn bms2_profile_matches_table1_shape() {
+        let t = bms2_like(0.03, 7);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.items, 3_340);
+        assert!(s.max_length <= 161);
+        assert!(
+            s.avg_length > 3.0 && s.avg_length < 7.5,
+            "avg {}",
+            s.avg_length
+        );
+    }
+
+    #[test]
+    fn fig6_profile_is_square_and_dense_enough() {
+        let t = fig6_like(0.5, 3);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, 1_000);
+        assert_eq!(s.items, 1_000);
+        assert!(
+            s.avg_length > 10.0 && s.avg_length < 30.0,
+            "avg {}",
+            s.avg_length
+        );
+    }
+
+    #[test]
+    fn scale_changes_only_transaction_count() {
+        let a = bms1_like(0.02, 1);
+        let b = bms1_like(0.04, 1);
+        assert_eq!(b.n_transactions(), 2 * a.n_transactions());
+        assert_eq!(a.n_items(), b.n_items());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        bms1_like(0.0, 1);
+    }
+}

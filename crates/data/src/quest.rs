@@ -1,0 +1,422 @@
+//! IBM Quest market-basket synthetic data generator (Rust reimplementation).
+//!
+//! The paper uses the Quest generator for its Fig. 6 workload and the
+//! (unavailable) BMS datasets for everything else; this module provides the
+//! same stochastic model so both can be simulated:
+//!
+//! * A pool of `n_patterns` *maximal potential itemsets*. Pattern sizes are
+//!   `Poisson(avg_pattern_len - 1) + 1`; a fraction [`QuestConfig::correlation`]
+//!   of each pattern's items is drawn from the previous pattern, the rest
+//!   uniformly from the universe — this is the correlation knob varied in
+//!   Fig. 6.
+//! * Each pattern has an `Exp(1)` weight (normalized) and a *corruption
+//!   level* `c ~ Normal(corruption_mean, corruption_sd)` clamped to [0, 1].
+//! * Transactions draw a size `Poisson(avg_txn_len - 1) + 1`, then fill up
+//!   by sampling patterns by weight and dropping items from the chosen
+//!   pattern while successive uniform draws fall below `c` (per Agrawal &
+//!   Srikant, VLDB'94). An oversized final pattern is included anyway with
+//!   probability 1/2, otherwise truncated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rand_ext::{exponential1, normal, poisson, sample_cumulative, sample_distinct};
+use crate::transaction::{ItemId, TransactionSet};
+
+/// Configuration of the Quest-style generator.
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Number of transactions to generate.
+    pub n_transactions: usize,
+    /// Size of the item universe.
+    pub n_items: usize,
+    /// Mean transaction length.
+    pub avg_txn_len: f64,
+    /// Hard cap on transaction length (`usize::MAX` to disable). The BMS
+    /// profiles use the paper's reported maximum lengths.
+    pub max_txn_len: usize,
+    /// Number of maximal potential itemsets ("patterns").
+    pub n_patterns: usize,
+    /// Mean pattern length.
+    pub avg_pattern_len: f64,
+    /// Fraction of each pattern's items drawn from the previous pattern
+    /// (the Fig. 6 correlation knob), in [0, 1].
+    pub correlation: f64,
+    /// Mean corruption level (0.5 in the original generator).
+    pub corruption_mean: f64,
+    /// Std-dev of the corruption level (0.1 in the original generator).
+    pub corruption_sd: f64,
+    /// Zipf exponent for item popularity inside patterns: 0.0 (default)
+    /// draws pattern items uniformly, as the original generator does;
+    /// larger values concentrate patterns on a popular head, making the
+    /// item-frequency distribution heavier-tailed (closer to real
+    /// clickstreams — raising this pushes the Table II re-identification
+    /// magnitudes toward the paper's).
+    pub item_skew: f64,
+    /// Probability that a transaction is a heavy-tail "session": its target
+    /// size is drawn exponentially with mean [`QuestConfig::tail_len_mean`]
+    /// instead of the Poisson body. Real clickstreams (the BMS datasets)
+    /// have such tails — maximum lengths of 267 and 161 against means of
+    /// 2.5 and 5.0. Zero disables the tail.
+    pub tail_prob: f64,
+    /// Mean length of heavy-tail transactions.
+    pub tail_len_mean: f64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            n_transactions: 10_000,
+            n_items: 1_000,
+            avg_txn_len: 10.0,
+            max_txn_len: usize::MAX,
+            n_patterns: 100,
+            avg_pattern_len: 4.0,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1,
+            item_skew: 0.0,
+            tail_prob: 0.0,
+            tail_len_mean: 50.0,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_items == 0 {
+            return Err("n_items must be positive".into());
+        }
+        if self.n_patterns == 0 {
+            return Err("n_patterns must be positive".into());
+        }
+        if self.avg_txn_len < 1.0 {
+            return Err("avg_txn_len must be >= 1".into());
+        }
+        if self.avg_pattern_len < 1.0 {
+            return Err("avg_pattern_len must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.correlation) {
+            return Err("correlation must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.corruption_mean) {
+            return Err("corruption_mean must be in [0, 1]".into());
+        }
+        if self.item_skew < 0.0 || !self.item_skew.is_finite() {
+            return Err("item_skew must be finite and non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&self.tail_prob) {
+            return Err("tail_prob must be in [0, 1]".into());
+        }
+        if self.tail_prob > 0.0 && self.tail_len_mean < 1.0 {
+            return Err("tail_len_mean must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A generated pattern: items, sampling weight and corruption level.
+#[derive(Clone, Debug)]
+struct Pattern {
+    items: Vec<ItemId>,
+    corruption: f64,
+}
+
+/// The Quest-style generator. Deterministic given (config, seed).
+///
+/// # Examples
+///
+/// ```
+/// use cahd_data::{QuestConfig, QuestGenerator};
+///
+/// let cfg = QuestConfig {
+///     n_transactions: 100,
+///     n_items: 50,
+///     avg_txn_len: 4.0,
+///     ..Default::default()
+/// };
+/// let data = QuestGenerator::new(cfg, 42).generate();
+/// assert_eq!(data.n_transactions(), 100);
+/// assert!(data.iter().all(|t| !t.is_empty()));
+/// ```
+pub struct QuestGenerator {
+    config: QuestConfig,
+    rng: StdRng,
+}
+
+impl QuestGenerator {
+    /// Creates a generator for `config` seeded with `seed`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`QuestConfig::validate`]).
+    pub fn new(config: QuestConfig, seed: u64) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid Quest configuration: {e}");
+        }
+        QuestGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the full transaction set.
+    pub fn generate(&mut self) -> TransactionSet {
+        let (patterns, cum_weights) = self.make_patterns();
+        let cfg = self.config.clone();
+        let mut rows: Vec<Vec<ItemId>> = Vec::with_capacity(cfg.n_transactions);
+        let mut txn: Vec<ItemId> = Vec::new();
+        for _ in 0..cfg.n_transactions {
+            txn.clear();
+            let heavy = cfg.tail_prob > 0.0 && self.rng.gen::<f64>() < cfg.tail_prob;
+            let size = if heavy {
+                ((exponential1(&mut self.rng) * cfg.tail_len_mean).round() as usize)
+                    .max(2)
+                    .min(cfg.max_txn_len)
+            } else {
+                (poisson(&mut self.rng, cfg.avg_txn_len - 1.0) as usize + 1).min(cfg.max_txn_len)
+            };
+            // Fill the transaction with (corrupted) patterns.
+            let mut guard = 0;
+            let max_draws = 64.max(size * 4);
+            while txn.len() < size && guard < max_draws {
+                guard += 1;
+                let p = &patterns[sample_cumulative(&mut self.rng, &cum_weights)];
+                let picked = corrupt(&mut self.rng, &p.items, p.corruption);
+                if picked.is_empty() {
+                    continue;
+                }
+                if txn.len() + picked.len() > size {
+                    // Oversize: include anyway half the time, else truncate
+                    // to the remaining space (original generator behavior).
+                    if self.rng.gen::<bool>() {
+                        txn.extend_from_slice(&picked);
+                    } else {
+                        let room = size - txn.len();
+                        txn.extend_from_slice(&picked[..room]);
+                    }
+                    break;
+                }
+                txn.extend_from_slice(&picked);
+            }
+            if txn.is_empty() {
+                // Degenerate corruption can empty every draw; fall back to
+                // one uniform item so no transaction is empty.
+                txn.push(self.rng.gen_range(0..cfg.n_items as u32));
+            }
+            txn.sort_unstable();
+            txn.dedup();
+            txn.truncate(cfg.max_txn_len);
+            rows.push(txn.clone());
+        }
+        TransactionSet::from_rows(&rows, cfg.n_items)
+    }
+
+    /// Builds the pattern pool and the cumulative weight table.
+    fn make_patterns(&mut self) -> (Vec<Pattern>, Vec<f64>) {
+        let cfg = self.config.clone();
+        // Zipf cumulative table for skewed item choice (None = uniform).
+        let zipf_cum: Option<Vec<f64>> = (cfg.item_skew > 0.0).then(|| {
+            let mut acc = 0.0;
+            (0..cfg.n_items)
+                .map(|i| {
+                    acc += 1.0 / ((i + 1) as f64).powf(cfg.item_skew);
+                    acc
+                })
+                .collect()
+        });
+        let draw_item = |rng: &mut StdRng| -> ItemId {
+            match &zipf_cum {
+                None => rng.gen_range(0..cfg.n_items as u32),
+                Some(cum) => sample_cumulative(rng, cum) as ItemId,
+            }
+        };
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(cfg.n_patterns);
+        let mut cum = Vec::with_capacity(cfg.n_patterns);
+        let mut total = 0.0f64;
+        for i in 0..cfg.n_patterns {
+            let len = (poisson(&mut self.rng, cfg.avg_pattern_len - 1.0) as usize + 1)
+                .min(cfg.n_items);
+            let mut items: Vec<ItemId> = Vec::with_capacity(len);
+            if i > 0 && cfg.correlation > 0.0 {
+                let prev = &patterns[i - 1].items;
+                let from_prev = ((len as f64 * cfg.correlation).round() as usize)
+                    .min(prev.len())
+                    .min(len);
+                // Random distinct positions of the previous pattern.
+                for idx in sample_distinct(&mut self.rng, prev.len(), from_prev) {
+                    items.push(prev[idx as usize]);
+                }
+            }
+            while items.len() < len {
+                let it = draw_item(&mut self.rng);
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            let corruption = normal(&mut self.rng, cfg.corruption_mean, cfg.corruption_sd)
+                .clamp(0.0, 1.0);
+            let weight = exponential1(&mut self.rng);
+            total += weight;
+            cum.push(total);
+            patterns.push(Pattern { items, corruption });
+        }
+        (patterns, cum)
+    }
+}
+
+/// Drops items from `items` while successive uniform draws are below `c`
+/// (the Quest corruption step); the surviving items are returned in a
+/// random-removal order.
+fn corrupt<R: Rng + ?Sized>(rng: &mut R, items: &[ItemId], c: f64) -> Vec<ItemId> {
+    let mut out = items.to_vec();
+    while !out.is_empty() && rng.gen::<f64>() < c {
+        let k = rng.gen_range(0..out.len());
+        out.swap_remove(k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> QuestConfig {
+        QuestConfig {
+            n_transactions: 2_000,
+            n_items: 200,
+            avg_txn_len: 5.0,
+            n_patterns: 40,
+            avg_pattern_len: 3.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QuestGenerator::new(small_config(), 42).generate();
+        let b = QuestGenerator::new(small_config(), 42).generate();
+        let c = QuestGenerator::new(small_config(), 43).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_and_no_empty_transactions() {
+        let t = QuestGenerator::new(small_config(), 1).generate();
+        assert_eq!(t.n_transactions(), 2_000);
+        assert_eq!(t.n_items(), 200);
+        assert!((0..t.n_transactions()).all(|i| t.len_of(i) >= 1));
+    }
+
+    #[test]
+    fn mean_length_near_target() {
+        let t = QuestGenerator::new(small_config(), 5).generate();
+        let mean = t.total_items() as f64 / t.n_transactions() as f64;
+        // Corruption and dedup bias the mean down somewhat; accept a band.
+        assert!(mean > 2.0 && mean < 7.5, "mean length {mean}");
+    }
+
+    #[test]
+    fn max_len_respected() {
+        let cfg = QuestConfig {
+            max_txn_len: 4,
+            ..small_config()
+        };
+        let t = QuestGenerator::new(cfg, 2).generate();
+        assert!((0..t.n_transactions()).all(|i| t.len_of(i) <= 4));
+    }
+
+    #[test]
+    fn high_correlation_reduces_distinct_items_used() {
+        // With correlation 0.9 patterns reuse the same items, so fewer
+        // distinct items should appear than with correlation 0.0.
+        let mk = |corr: f64| {
+            let cfg = QuestConfig {
+                correlation: corr,
+                ..small_config()
+            };
+            let t = QuestGenerator::new(cfg, 9).generate();
+            t.item_supports().iter().filter(|&&s| s > 0).count()
+        };
+        let low = mk(0.0);
+        let high = mk(0.9);
+        assert!(high < low, "high {high} !< low {low}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(QuestConfig {
+            n_items: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            correlation: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            avg_txn_len: 0.2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(small_config().validate().is_ok());
+    }
+
+    #[test]
+    fn item_skew_concentrates_popularity() {
+        let uniform = QuestGenerator::new(small_config(), 7).generate();
+        let skewed = QuestGenerator::new(
+            QuestConfig {
+                item_skew: 1.2,
+                ..small_config()
+            },
+            7,
+        )
+        .generate();
+        let top = |t: &crate::TransactionSet| *t.item_supports().iter().max().unwrap();
+        // Pattern weights already concentrate the uniform case; skew must
+        // push the head meaningfully further.
+        assert!(
+            top(&skewed) as f64 > 1.3 * top(&uniform) as f64,
+            "skewed top {} vs uniform top {}",
+            top(&skewed),
+            top(&uniform)
+        );
+    }
+
+    #[test]
+    fn invalid_skew_rejected() {
+        assert!(QuestConfig {
+            item_skew: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            item_skew: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn corruption_one_still_terminates() {
+        let cfg = QuestConfig {
+            corruption_mean: 1.0,
+            corruption_sd: 0.0,
+            n_transactions: 100,
+            ..small_config()
+        };
+        let t = QuestGenerator::new(cfg, 3).generate();
+        assert_eq!(t.n_transactions(), 100);
+        assert!((0..100).all(|i| t.len_of(i) >= 1));
+    }
+}

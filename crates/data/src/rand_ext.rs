@@ -1,0 +1,156 @@
+//! Small sampling utilities on top of `rand`.
+//!
+//! The Quest generator needs Poisson, truncated-normal and exponential
+//! draws. `rand_distr` is not part of the approved dependency set, and the
+//! required samplers are a few lines each, so they live here.
+
+use rand::Rng;
+
+/// Draws from `Poisson(lambda)` using Knuth's product method.
+///
+/// The generator only uses small rates (mean basket and pattern lengths,
+/// single digits to low tens), where the product method is both exact and
+/// fast. For `lambda <= 0` the result is 0.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    // Split large rates to avoid exp underflow (e^-745 is the f64 floor).
+    if lambda > 500.0 {
+        return poisson(rng, lambda / 2.0) + poisson(rng, lambda / 2.0);
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws from `Normal(mean, sd)` via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+/// Draws from `Exponential(1)` by inversion.
+pub fn exponential1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+/// Draws an index from a cumulative weight table (`cum` non-decreasing,
+/// last element = total mass).
+///
+/// # Panics
+/// Panics if `cum` is empty or has non-positive total mass.
+pub fn sample_cumulative<R: Rng + ?Sized>(rng: &mut R, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("cumulative table must be non-empty");
+    assert!(total > 0.0, "total mass must be positive");
+    let x = rng.gen::<f64>() * total;
+    match cum.binary_search_by(|v| v.partial_cmp(&x).expect("no NaN weights")) {
+        Ok(i) => (i + 1).min(cum.len() - 1),
+        Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+/// Samples `k` distinct values uniformly from `0..n` (Floyd's algorithm).
+/// Returns fewer than `k` values only when `k > n`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<u32> {
+    use std::collections::HashSet;
+    if k >= n {
+        return (0..n as u32).collect();
+    }
+    let mut chosen: HashSet<u32> = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j) as u32;
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j as u32);
+            out.push(j as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_rate_splits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = poisson(&mut rng, 1000.0) as f64;
+        assert!((x - 1000.0).abs() < 200.0, "{x}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_one() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential1(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn cumulative_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cum = [1.0, 1.0, 4.0]; // weights 1, 0, 3
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_cumulative(&mut rng, &cum)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 10_000.0;
+        assert!((frac0 - 0.25).abs() < 0.03, "frac0 {frac0}");
+    }
+
+    #[test]
+    fn distinct_sampling() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..100 {
+            let mut v = sample_distinct(&mut rng, 50, 10);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 10);
+            assert!(v.iter().all(|&x| x < 50));
+        }
+        assert_eq!(sample_distinct(&mut rng, 3, 5).len(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dataset characteristic reports (paper Table I).
+
+use crate::transaction::TransactionSet;
+
+/// Summary characteristics of a transaction dataset, as reported in the
+/// paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Size of the item universe (matrix columns).
+    pub items: usize,
+    /// Number of items that actually occur.
+    pub items_present: usize,
+    /// Longest transaction.
+    pub max_length: usize,
+    /// Mean transaction length.
+    pub avg_length: f64,
+    /// Fraction of matrix cells that are non-zero.
+    pub density: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `data`.
+    pub fn compute(data: &TransactionSet) -> Self {
+        let n = data.n_transactions();
+        let max_length = (0..n).map(|t| data.len_of(t)).max().unwrap_or(0);
+        let avg_length = if n == 0 {
+            0.0
+        } else {
+            data.total_items() as f64 / n as f64
+        };
+        let items_present = data.item_supports().iter().filter(|&&s| s > 0).count();
+        DatasetStats {
+            transactions: n,
+            items: data.n_items(),
+            items_present,
+            max_length,
+            avg_length,
+            density: data.matrix().density(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} transactions, {} items ({} present), max len {}, avg len {:.2}, density {:.5}",
+            self.transactions,
+            self.items,
+            self.items_present,
+            self.max_length,
+            self.avg_length,
+            self.density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_table1_style_stats() {
+        let t = TransactionSet::from_rows(&[vec![0, 1, 2], vec![1], vec![]], 5);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, 3);
+        assert_eq!(s.items, 5);
+        assert_eq!(s.items_present, 3);
+        assert_eq!(s.max_length, 3);
+        assert!((s.avg_length - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.density - 4.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let t = TransactionSet::from_rows(&[], 0);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.avg_length, 0.0);
+        assert_eq!(s.max_length, 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = TransactionSet::from_rows(&[vec![0]], 2);
+        let s = DatasetStats::compute(&t).to_string();
+        assert!(s.contains("1 transactions"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Count-valued (non-binary) transaction data.
+//!
+//! The paper's conclusions name "anonymization of high-dimensional data for
+//! non-binary databases" as future work, motivated by the Netflix Prize
+//! ratings release. A [`WeightedTransactionSet`] attaches a positive count
+//! (quantity, rating, frequency) to every (transaction, item) pair while
+//! keeping the binary *pattern* — which everything RCM-related operates
+//! on — directly accessible.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use cahd_sparse::{CsrMatrix, Permutation};
+
+use crate::transaction::{ItemId, TransactionSet};
+
+/// Transactions whose items carry positive integer counts.
+///
+/// Stored as the binary CSR pattern plus a weight array aligned with the
+/// pattern's index array: `weights[k]` is the count of `indices[k]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedTransactionSet {
+    pattern: CsrMatrix,
+    weights: Vec<u32>,
+}
+
+impl WeightedTransactionSet {
+    /// Builds from per-transaction `(item, count)` lists. Duplicate items
+    /// within a transaction have their counts summed; zero-count entries
+    /// are dropped.
+    ///
+    /// # Panics
+    /// Panics if an item id is `>= n_items`.
+    pub fn from_rows(rows: &[Vec<(ItemId, u32)>], n_items: usize) -> Self {
+        let mut pattern_rows: Vec<Vec<ItemId>> = Vec::with_capacity(rows.len());
+        let mut per_row: Vec<Vec<(ItemId, u32)>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut r: Vec<(ItemId, u32)> = row.iter().copied().filter(|&(_, c)| c > 0).collect();
+            r.sort_unstable();
+            // Merge duplicates.
+            let mut merged: Vec<(ItemId, u32)> = Vec::with_capacity(r.len());
+            for (item, c) in r {
+                match merged.last_mut() {
+                    Some((last, lc)) if *last == item => *lc += c,
+                    _ => merged.push((item, c)),
+                }
+            }
+            pattern_rows.push(merged.iter().map(|&(i, _)| i).collect());
+            per_row.push(merged);
+        }
+        let pattern = CsrMatrix::from_rows(&pattern_rows, n_items);
+        let weights: Vec<u32> = per_row.into_iter().flatten().map(|(_, c)| c).collect();
+        debug_assert_eq!(weights.len(), pattern.nnz());
+        WeightedTransactionSet { pattern, weights }
+    }
+
+    /// Number of transactions.
+    #[inline]
+    pub fn n_transactions(&self) -> usize {
+        self.pattern.n_rows()
+    }
+
+    /// Size of the item universe.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.pattern.n_cols()
+    }
+
+    /// The sorted items of transaction `t` (the binary view).
+    #[inline]
+    pub fn items(&self, t: usize) -> &[ItemId] {
+        self.pattern.row(t)
+    }
+
+    /// The counts of transaction `t`, aligned with [`Self::items`].
+    #[inline]
+    pub fn counts(&self, t: usize) -> &[u32] {
+        &self.weights[self.pattern.indptr()[t]..self.pattern.indptr()[t + 1]]
+    }
+
+    /// `(item, count)` pairs of transaction `t`.
+    pub fn transaction(&self, t: usize) -> impl ExactSizeIterator<Item = (ItemId, u32)> + '_ {
+        self.items(t).iter().copied().zip(self.counts(t).iter().copied())
+    }
+
+    /// The count of `item` in transaction `t` (0 if absent).
+    pub fn count_of(&self, t: usize, item: ItemId) -> u32 {
+        match self.items(t).binary_search(&item) {
+            Ok(k) => self.counts(t)[k],
+            Err(_) => 0,
+        }
+    }
+
+    /// The binary occurrence pattern (what RCM and the privacy model see).
+    pub fn pattern(&self) -> &CsrMatrix {
+        &self.pattern
+    }
+
+    /// Drops the counts, keeping presence only.
+    pub fn to_binary(&self) -> TransactionSet {
+        TransactionSet::from_matrix(self.pattern.clone())
+    }
+
+    /// Total quantity across all transactions, per item.
+    pub fn item_quantities(&self) -> Vec<u64> {
+        let mut q = vec![0u64; self.n_items()];
+        for t in 0..self.n_transactions() {
+            for (item, c) in self.transaction(t) {
+                q[item as usize] += c as u64;
+            }
+        }
+        q
+    }
+
+    /// Reorders transactions (see
+    /// [`TransactionSet::permute`](crate::TransactionSet::permute)).
+    pub fn permute(&self, perm: &Permutation) -> WeightedTransactionSet {
+        let rows: Vec<Vec<(ItemId, u32)>> = (0..self.n_transactions())
+            .map(|new_t| self.transaction(perm.new_to_old(new_t)).collect())
+            .collect();
+        WeightedTransactionSet::from_rows(&rows, self.n_items())
+    }
+}
+
+/// Reads the weighted `.wdat` format: one transaction per line of
+/// whitespace-separated `item:count` tokens (bare `item` means count 1).
+/// Empty lines and `#` comments are skipped.
+pub fn read_wdat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<WeightedTransactionSet> {
+    let mut rows: Vec<Vec<(ItemId, u32)>> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for tok in trimmed.split_ascii_whitespace() {
+            let (item_s, count_s) = match tok.split_once(':') {
+                Some((i, c)) => (i, Some(c)),
+                None => (tok, None),
+            };
+            let bad = |what: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what} in {tok:?}", lineno + 1),
+                )
+            };
+            let item: u32 = item_s.parse().map_err(|_| bad("item id"))?;
+            let count: u32 = match count_s {
+                Some(c) => c.parse().map_err(|_| bad("count"))?,
+                None => 1,
+            };
+            max_id = max_id.max(item as u64);
+            row.push((item, count));
+        }
+        rows.push(row);
+    }
+    let inferred = if rows.iter().all(|r| r.is_empty()) {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let d = n_items.unwrap_or(0).max(inferred);
+    Ok(WeightedTransactionSet::from_rows(&rows, d))
+}
+
+/// Reads a `.wdat` file from disk.
+pub fn read_wdat_file<P: AsRef<Path>>(
+    path: P,
+    n_items: Option<usize>,
+) -> io::Result<WeightedTransactionSet> {
+    read_wdat(BufReader::new(File::open(path)?), n_items)
+}
+
+/// Writes the weighted `.wdat` format.
+pub fn write_wdat<W: Write>(mut writer: W, data: &WeightedTransactionSet) -> io::Result<()> {
+    for t in 0..data.n_transactions() {
+        let mut first = true;
+        for (item, count) in data.transaction(t) {
+            if !first {
+                writer.write_all(b" ")?;
+            }
+            first = false;
+            write!(writer, "{item}:{count}")?;
+        }
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Writes a `.wdat` file to disk.
+pub fn write_wdat_file<P: AsRef<Path>>(path: P, data: &WeightedTransactionSet) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_wdat(&mut w, data)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> WeightedTransactionSet {
+        WeightedTransactionSet::from_rows(
+            &[vec![(2, 3), (0, 1)], vec![(1, 5)], vec![]],
+            4,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let w = sample();
+        assert_eq!(w.n_transactions(), 3);
+        assert_eq!(w.n_items(), 4);
+        assert_eq!(w.items(0), &[0, 2]);
+        assert_eq!(w.counts(0), &[1, 3]);
+        assert_eq!(w.count_of(0, 2), 3);
+        assert_eq!(w.count_of(0, 1), 0);
+        assert_eq!(w.transaction(1).collect::<Vec<_>>(), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn duplicates_merged_zeros_dropped() {
+        let w = WeightedTransactionSet::from_rows(&[vec![(1, 2), (1, 3), (0, 0)]], 2);
+        assert_eq!(w.items(0), &[1]);
+        assert_eq!(w.counts(0), &[5]);
+    }
+
+    #[test]
+    fn to_binary_keeps_pattern() {
+        let w = sample();
+        let b = w.to_binary();
+        assert_eq!(b.transaction(0), &[0, 2]);
+        assert_eq!(b.n_items(), 4);
+    }
+
+    #[test]
+    fn quantities_sum_counts() {
+        let w = sample();
+        assert_eq!(w.item_quantities(), vec![1, 5, 3, 0]);
+    }
+
+    #[test]
+    fn permute_preserves_rows() {
+        let w = sample();
+        let p = Permutation::identity(3).reversed();
+        let wp = w.permute(&p);
+        assert_eq!(wp.items(2), w.items(0));
+        assert_eq!(wp.counts(2), w.counts(0));
+        assert_eq!(wp.items(0), w.items(2));
+    }
+
+    #[test]
+    fn wdat_roundtrip() {
+        let w = sample();
+        let mut buf = Vec::new();
+        write_wdat(&mut buf, &w).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf), "0:1 2:3\n1:5\n\n");
+        let back = read_wdat(Cursor::new(&buf), Some(4)).unwrap();
+        // Empty line skipped on read, as in the binary .dat reader.
+        assert_eq!(back.n_transactions(), 2);
+        assert_eq!(back.counts(0), w.counts(0));
+    }
+
+    #[test]
+    fn wdat_bare_item_means_one() {
+        let w = read_wdat(Cursor::new("3 5:2\n"), None).unwrap();
+        assert_eq!(w.count_of(0, 3), 1);
+        assert_eq!(w.count_of(0, 5), 2);
+        assert_eq!(w.n_items(), 6);
+    }
+
+    #[test]
+    fn wdat_bad_tokens_rejected() {
+        assert!(read_wdat(Cursor::new("1:x\n"), None).is_err());
+        assert!(read_wdat(Cursor::new("y:1\n"), None).is_err());
+    }
+
+    #[test]
+    fn wdat_file_roundtrip() {
+        let w = sample();
+        let path = std::env::temp_dir().join(format!("cahd_wdat_{}.wdat", std::process::id()));
+        write_wdat_file(&path, &w).unwrap();
+        let back = read_wdat_file(&path, Some(4)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.n_transactions(), 2); // empty txn dropped
+    }
+}

@@ -1,0 +1,305 @@
+//! Linkage-attack simulation.
+//!
+//! The paper's threat model (Section I): Eve knows a few innocuous items of
+//! a victim's transaction and tries to associate the victim with a
+//! sensitive item. Definition 3 promises that after anonymization the
+//! association probability never exceeds `1/p`. This module *runs the
+//! attack* — against the raw data and against a release — so the guarantee
+//! can be observed instead of assumed:
+//!
+//! * **raw data:** the attacker matches her background knowledge against
+//!   all transactions; her posterior for sensitive item `s` is the fraction
+//!   of matching transactions containing `s` (1.0 in the Claire example);
+//! * **release:** QID rows are published verbatim, so matching works the
+//!   same — but sensitive items exist only as group-level frequencies, so
+//!   the posterior for `s` of a candidate row in group `G` is `f_s / |G|`,
+//!   and averaging over candidates can never exceed `max_G f_s / |G| <= 1/p`.
+
+use rand::Rng;
+
+use cahd_core::PublishedDataset;
+use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+
+/// Aggregate outcome of a simulated linkage attack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackOutcome {
+    /// Completed attack trials.
+    pub trials: usize,
+    /// Mean posterior probability the attacker assigns to the victim's
+    /// *actual* sensitive item.
+    pub mean_true_posterior: f64,
+    /// Largest posterior observed for any (victim, sensitive item) pair.
+    pub max_posterior: f64,
+    /// Fraction of trials where the victim's transaction was the unique
+    /// match (full re-identification of the row — harmless in the release,
+    /// fatal in the raw data).
+    pub unique_match_rate: f64,
+}
+
+impl std::fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} trials: mean true posterior {:.4}, max posterior {:.4}, unique match {:.1}%",
+            self.trials,
+            self.mean_true_posterior,
+            self.max_posterior,
+            self.unique_match_rate * 100.0
+        )
+    }
+}
+
+/// Simulates the attack against the **raw data**. Victims are sampled
+/// among sensitive transactions with at least `k` QID items; the attacker
+/// knows `k` random QID items. Returns `None` when no transaction
+/// qualifies.
+pub fn attack_raw<R: Rng + ?Sized>(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    k: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Option<AttackOutcome> {
+    let victims = eligible_victims(data, sensitive, k);
+    if victims.is_empty() || trials == 0 {
+        return None;
+    }
+    let inv = data.inverted_index();
+    let mut sum_true = 0f64;
+    let mut max_post = 0f64;
+    let mut unique = 0usize;
+    for _ in 0..trials {
+        let v = victims[rng.gen_range(0..victims.len())] as usize;
+        let known = sample_known(data.transaction(v), sensitive, k, rng);
+        // Matching transactions via posting-list intersection.
+        let mut matches = inv.row(known[0] as usize).to_vec();
+        for &item in &known[1..] {
+            matches = intersect(&matches, inv.row(item as usize));
+        }
+        debug_assert!(matches.contains(&(v as u32)));
+        if matches.len() == 1 {
+            unique += 1;
+        }
+        // Posterior per sensitive item = fraction of matches containing it.
+        let denom = matches.len() as f64;
+        let (_, v_sens) = sensitive.split_transaction(data.transaction(v));
+        for &rank in &v_sens {
+            let item = sensitive.items()[rank];
+            let hits = matches
+                .iter()
+                .filter(|&&t| data.contains(t as usize, item))
+                .count();
+            let post = hits as f64 / denom;
+            sum_true += post / v_sens.len() as f64;
+            max_post = max_post.max(post);
+        }
+        // Also track the attacker's best guess over all sensitive items.
+        for &item in sensitive.items() {
+            let hits = matches
+                .iter()
+                .filter(|&&t| data.contains(t as usize, item))
+                .count();
+            max_post = max_post.max(hits as f64 / denom);
+        }
+    }
+    Some(AttackOutcome {
+        trials,
+        mean_true_posterior: sum_true / trials as f64,
+        max_posterior: max_post,
+        unique_match_rate: unique as f64 / trials as f64,
+    })
+}
+
+/// Simulates the attack against a **release**. The attacker matches her
+/// known QID items against the published QID rows and combines the groups'
+/// sensitive frequencies into a posterior. By construction the posterior
+/// is bounded by `1/p` for a valid release.
+pub fn attack_published<R: Rng + ?Sized>(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    published: &PublishedDataset,
+    k: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Option<AttackOutcome> {
+    let victims = eligible_victims(data, sensitive, k);
+    if victims.is_empty() || trials == 0 {
+        return None;
+    }
+    let mut sum_true = 0f64;
+    let mut max_post = 0f64;
+    let mut unique = 0usize;
+    for _ in 0..trials {
+        let v = victims[rng.gen_range(0..victims.len())] as usize;
+        let known = sample_known(data.transaction(v), sensitive, k, rng);
+        // Candidate rows across all groups; collect per-group match counts.
+        let mut n_candidates = 0usize;
+        let mut per_item: Vec<f64> = vec![0.0; sensitive.len()];
+        for g in &published.groups {
+            let b = g
+                .qid_rows
+                .iter()
+                .filter(|row| known.iter().all(|i| row.binary_search(i).is_ok()))
+                .count();
+            if b == 0 {
+                continue;
+            }
+            n_candidates += b;
+            for &(item, f) in &g.sensitive_counts {
+                let rank = sensitive.index_of(item).expect("published item is sensitive");
+                // Each of the b candidate rows carries posterior f/|G|.
+                per_item[rank] += b as f64 * f as f64 / g.size() as f64;
+            }
+        }
+        if n_candidates == 0 {
+            // Release verified -> the victim's own row always matches.
+            unreachable!("victim row must match its own knowledge");
+        }
+        if n_candidates == 1 {
+            unique += 1;
+        }
+        for p in &mut per_item {
+            *p /= n_candidates as f64;
+        }
+        let (_, v_sens) = sensitive.split_transaction(data.transaction(v));
+        for &rank in &v_sens {
+            sum_true += per_item[rank] / v_sens.len() as f64;
+        }
+        for &p in &per_item {
+            max_post = max_post.max(p);
+        }
+    }
+    Some(AttackOutcome {
+        trials,
+        mean_true_posterior: sum_true / trials as f64,
+        max_posterior: max_post,
+        unique_match_rate: unique as f64 / trials as f64,
+    })
+}
+
+fn eligible_victims(data: &TransactionSet, sensitive: &SensitiveSet, k: usize) -> Vec<u32> {
+    (0..data.n_transactions())
+        .filter(|&t| {
+            let (qid, sens) = sensitive.split_transaction(data.transaction(t));
+            !sens.is_empty() && qid.len() >= k
+        })
+        .map(|t| t as u32)
+        .collect()
+}
+
+fn sample_known<R: Rng + ?Sized>(
+    txn: &[ItemId],
+    sensitive: &SensitiveSet,
+    k: usize,
+    rng: &mut R,
+) -> Vec<ItemId> {
+    let mut qid: Vec<ItemId> = txn.iter().copied().filter(|&i| !sensitive.contains(i)).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..qid.len());
+        qid.swap(i, j);
+    }
+    qid.truncate(k);
+    qid
+}
+
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cahd_core::{cahd, verify_published, CahdConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A dataset where the attack on raw data is devastating: each
+    /// sensitive transaction has a unique QID pair.
+    fn setup() -> (TransactionSet, SensitiveSet) {
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for i in 0..8u32 {
+            rows.push(vec![i, 8 + i, 20]); // sensitive, unique pair (i, 8+i)
+        }
+        for i in 0..16u32 {
+            rows.push(vec![i % 8, 16 + (i % 4)]); // chaff
+        }
+        (
+            TransactionSet::from_rows(&rows, 21),
+            SensitiveSet::new(vec![20], 21),
+        )
+    }
+
+    #[test]
+    fn raw_attack_succeeds_on_unique_victims() {
+        let (data, sens) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = attack_raw(&data, &sens, 2, 500, &mut rng).unwrap();
+        // Known pair (i, 8+i) is unique -> full identification, posterior 1.
+        assert!(out.unique_match_rate > 0.5, "{out:?}");
+        assert!(out.mean_true_posterior > 0.5, "{out:?}");
+        assert_eq!(out.max_posterior, 1.0);
+    }
+
+    #[test]
+    fn published_attack_bounded_by_one_over_p() {
+        let (data, sens) = setup();
+        let p = 3;
+        let (published, _) = cahd(&data, &sens, &CahdConfig::new(p)).unwrap();
+        verify_published(&data, &sens, &published, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = attack_published(&data, &sens, &published, 2, 500, &mut rng).unwrap();
+        assert!(
+            out.max_posterior <= 1.0 / p as f64 + 1e-9,
+            "posterior {} exceeds 1/{p}",
+            out.max_posterior
+        );
+        assert!(out.mean_true_posterior <= 1.0 / p as f64 + 1e-9);
+    }
+
+    #[test]
+    fn anonymization_reduces_attack_success() {
+        let (data, sens) = setup();
+        let (published, _) = cahd(&data, &sens, &CahdConfig::new(3)).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let raw = attack_raw(&data, &sens, 2, 500, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let pub_ = attack_published(&data, &sens, &published, 2, 500, &mut rng2).unwrap();
+        assert!(
+            pub_.mean_true_posterior < raw.mean_true_posterior,
+            "published {} !< raw {}",
+            pub_.mean_true_posterior,
+            raw.mean_true_posterior
+        );
+    }
+
+    #[test]
+    fn no_eligible_victims() {
+        let data = TransactionSet::from_rows(&[vec![0], vec![1]], 3);
+        let sens = SensitiveSet::new(vec![2], 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(attack_raw(&data, &sens, 1, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn more_knowledge_stronger_raw_attack() {
+        let (data, sens) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let k1 = attack_raw(&data, &sens, 1, 1_000, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let k2 = attack_raw(&data, &sens, 2, 1_000, &mut rng).unwrap();
+        assert!(k2.mean_true_posterior >= k1.mean_true_posterior);
+    }
+}

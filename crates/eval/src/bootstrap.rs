@@ -1,0 +1,152 @@
+//! Bootstrap confidence intervals for workload-level comparisons.
+//!
+//! The paper compares methods by the *mean* KL over 100 random queries;
+//! with finite workloads the difference can be sampling noise. Percentile
+//! bootstrap over the per-query values gives the mean a confidence
+//! interval, and resampling the paired differences tests whether one
+//! method's advantage is significant — used by the integration tests to
+//! assert "CAHD beats PM" robustly rather than on a point estimate.
+
+use rand::Rng;
+
+/// A percentile-bootstrap confidence interval for a sample mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapInterval {
+    /// The sample mean.
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile bootstrap CI for the mean of `values` at the given
+/// `confidence` (e.g. 0.95). Returns `None` for an empty sample.
+///
+/// # Panics
+/// Panics if `confidence` is outside `(0, 1)` or `resamples == 0`.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    values: &[f64],
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Option<BootstrapInterval> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    assert!(resamples > 0, "need at least one resample");
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut s = 0.0;
+            for _ in 0..n {
+                s += values[rng.gen_range(0..n)];
+            }
+            s / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Some(BootstrapInterval {
+        mean,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+        resamples,
+    })
+}
+
+/// Paired bootstrap test that `mean(a) < mean(b)`: resamples the paired
+/// differences `a[i] - b[i]` and returns the fraction of resamples with a
+/// non-negative mean difference (a one-sided p-value estimate; small means
+/// `a` is significantly smaller). Returns `None` if the slices are empty
+/// or of different lengths.
+pub fn paired_bootstrap_less<R: Rng + ?Sized>(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    if a.is_empty() || a.len() != b.len() {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let n = diffs.len();
+    let mut at_least = 0usize;
+    for _ in 0..resamples {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += diffs[rng.gen_range(0..n)];
+        }
+        if s >= 0.0 {
+            at_least += 1;
+        }
+    }
+    Some(at_least as f64 / resamples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_contains_mean_and_tightens_with_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let big: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 2000, &mut rng).unwrap();
+        let ci_big = bootstrap_mean_ci(&big, 0.95, 2000, &mut rng).unwrap();
+        assert!(ci_small.lo <= ci_small.mean && ci_small.mean <= ci_small.hi);
+        assert!((ci_big.hi - ci_big.lo) < (ci_small.hi - ci_small.lo));
+        assert!((ci_small.mean - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut rng).is_none());
+    }
+
+    #[test]
+    fn constant_sample_has_degenerate_ci() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ci = bootstrap_mean_ci(&[2.0; 50], 0.99, 500, &mut rng).unwrap();
+        assert_eq!((ci.lo, ci.mean, ci.hi), (2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn paired_test_detects_clear_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..50).map(|i| 1.0 + (i % 5) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..50).map(|i| 2.0 + (i % 7) as f64 * 0.01).collect();
+        let p = paired_bootstrap_less(&a, &b, 2000, &mut rng).unwrap();
+        assert!(p < 0.01, "p = {p}");
+        // And the reverse direction is not significant.
+        let p_rev = paired_bootstrap_less(&b, &a, 2000, &mut rng).unwrap();
+        assert!(p_rev > 0.99, "p_rev = {p_rev}");
+    }
+
+    #[test]
+    fn paired_test_no_difference_is_inconclusive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..60).map(|i| ((i * 7919) % 100) as f64).collect();
+        let p = paired_bootstrap_less(&a, &a, 1000, &mut rng).unwrap();
+        assert_eq!(p, 1.0); // all resampled differences are exactly zero
+    }
+
+    #[test]
+    fn mismatched_lengths_is_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(paired_bootstrap_less(&[1.0], &[1.0, 2.0], 10, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! The `2^r` cells of a group-by query.
+//!
+//! A query over QID items `q_1 ... q_r` induces one cell per
+//! presence/absence combination (Fig. 2 of the paper): a transaction falls
+//! into the cell whose bit `i` is set iff the transaction contains `q_i`.
+
+use cahd_data::ItemId;
+
+/// Maximum supported number of group-by items (cells fit in a `u32` index
+/// and PDFs stay small).
+pub const MAX_R: usize = 20;
+
+/// The cell index of a transaction (sorted item slice) for the given QID
+/// items.
+///
+/// # Panics
+/// Panics if `qid.len() > MAX_R`.
+#[inline]
+pub fn cell_of(txn: &[ItemId], qid: &[ItemId]) -> u32 {
+    assert!(qid.len() <= MAX_R, "too many group-by items");
+    let mut cell = 0u32;
+    for (bit, &q) in qid.iter().enumerate() {
+        if txn.binary_search(&q).is_ok() {
+            cell |= 1 << bit;
+        }
+    }
+    cell
+}
+
+/// Number of cells of a query with `r` QID items.
+#[inline]
+pub fn n_cells(r: usize) -> usize {
+    assert!(r <= MAX_R, "too many group-by items");
+    1usize << r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_follow_qid_order() {
+        // txn contains q0 and q2 but not q1.
+        assert_eq!(cell_of(&[1, 5, 9], &[1, 3, 9]), 0b101);
+        assert_eq!(cell_of(&[], &[1, 3]), 0);
+        assert_eq!(cell_of(&[3], &[1, 3]), 0b10);
+    }
+
+    #[test]
+    fn empty_query_single_cell() {
+        assert_eq!(cell_of(&[1, 2], &[]), 0);
+        assert_eq!(n_cells(0), 1);
+    }
+
+    #[test]
+    fn n_cells_is_power_of_two() {
+        assert_eq!(n_cells(4), 16);
+        assert_eq!(n_cells(8), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn too_many_items_panics() {
+        n_cells(MAX_R + 1);
+    }
+}

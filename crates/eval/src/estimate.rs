@@ -1,0 +1,167 @@
+//! Analytic COUNT estimation with uncertainty, for analysts consuming a
+//! release.
+//!
+//! Within a group holding `a` occurrences of sensitive item `s`, the
+//! permutation model says the `a` occurrences fall on a uniformly random
+//! `a`-subset of the `|G|` members. The number landing on the `b` members
+//! that match a QID predicate is therefore **hypergeometric**
+//! `H(N = |G|, K = b, n = a)` with mean `a·b/|G|` (the paper's eq. 2) and
+//! variance `a · (b/N) · (1 − b/N) · (N − a)/(N − 1)`. Groups are
+//! independent, so the release-level estimate sums means and variances —
+//! giving analysts not just the point estimate but a proper confidence
+//! interval.
+
+use cahd_core::PublishedDataset;
+use cahd_data::ItemId;
+
+/// A COUNT estimate with its standard error under the permutation model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CountEstimate {
+    /// Expected count (sum of per-group hypergeometric means).
+    pub estimate: f64,
+    /// Variance of the count (sum of per-group hypergeometric variances).
+    pub variance: f64,
+    /// Number of groups contributing (holding the sensitive item).
+    pub contributing_groups: usize,
+}
+
+impl CountEstimate {
+    /// Standard error.
+    pub fn std_error(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// A normal-approximation confidence interval at ±`z` standard errors
+    /// (z = 1.96 for 95%), clamped below at 0.
+    pub fn interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_error();
+        ((self.estimate - half).max(0.0), self.estimate + half)
+    }
+}
+
+/// Estimates `COUNT(*) WHERE s present AND all qid_items present` from a
+/// release, with variance.
+pub fn estimate_count(
+    published: &PublishedDataset,
+    sensitive_item: ItemId,
+    qid_items: &[ItemId],
+) -> CountEstimate {
+    let mut estimate = 0.0;
+    let mut variance = 0.0;
+    let mut contributing_groups = 0;
+    for g in &published.groups {
+        let a = g.sensitive_count_of(sensitive_item) as f64;
+        if a == 0.0 {
+            continue;
+        }
+        contributing_groups += 1;
+        let n = g.size() as f64;
+        let b = g
+            .qid_rows
+            .iter()
+            .filter(|row| qid_items.iter().all(|i| row.binary_search(i).is_ok()))
+            .count() as f64;
+        estimate += a * b / n;
+        if n > 1.0 {
+            variance += a * (b / n) * (1.0 - b / n) * (n - a) / (n - 1.0);
+        }
+    }
+    CountEstimate {
+        estimate,
+        variance,
+        contributing_groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cahd_core::AnonymizedGroup;
+    use cahd_data::{SensitiveSet, TransactionSet};
+
+    fn release(groups: Vec<Vec<u32>>) -> (TransactionSet, PublishedDataset) {
+        // 6 transactions; item 0 on the first three, sensitive item 4 on
+        // transactions 0 and 3.
+        let data = TransactionSet::from_rows(
+            &[vec![0, 4], vec![0], vec![0], vec![1, 4], vec![1], vec![1]],
+            5,
+        );
+        let sens = SensitiveSet::new(vec![4], 5);
+        let pub_ = PublishedDataset {
+            n_items: 5,
+            sensitive_items: vec![4],
+            groups: groups
+                .iter()
+                .map(|m| AnonymizedGroup::from_members(&data, &sens, m))
+                .collect(),
+        };
+        (data, pub_)
+    }
+
+    #[test]
+    fn homogeneous_groups_have_zero_variance() {
+        // Groups align with the QID blocks: b = |G| or b = 0 everywhere.
+        let (_, pub_) = release(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let est = estimate_count(&pub_, 4, &[0]);
+        assert!((est.estimate - 1.0).abs() < 1e-12);
+        assert_eq!(est.variance, 0.0);
+        assert_eq!(est.contributing_groups, 2);
+        assert_eq!(est.interval(1.96), (1.0, 1.0));
+    }
+
+    #[test]
+    fn mixed_groups_have_positive_variance() {
+        // One big group: N=6, K=b(item 0)=3, n=a=2.
+        let (_, pub_) = release(vec![vec![0, 1, 2, 3, 4, 5]]);
+        let est = estimate_count(&pub_, 4, &[0]);
+        assert!((est.estimate - 1.0).abs() < 1e-12); // 2*3/6
+        // var = n*(K/N)*(1-K/N)*(N-n)/(N-1) = 2*0.5*0.5*(4/5) = 0.4
+        assert!((est.variance - 0.4).abs() < 1e-12);
+        let (lo, hi) = est.interval(1.96);
+        assert!(lo < 1.0 && hi > 1.0);
+        assert!(lo >= 0.0);
+    }
+
+    #[test]
+    fn variance_matches_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Simulate the permutation model for the one-group case above.
+        let (n, k, a) = (6usize, 3usize, 2usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        let mut sum = 0f64;
+        let mut sumsq = 0f64;
+        for _ in 0..trials {
+            // Choose which members hold the item: partial Fisher-Yates.
+            let mut members: Vec<usize> = (0..n).collect();
+            for i in 0..a {
+                let j = rng.gen_range(i..n);
+                members.swap(i, j);
+            }
+            let hit = members[..a].iter().filter(|&&m| m < k).count() as f64;
+            sum += hit;
+            sumsq += hit * hit;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.01, "mc mean {mean}");
+        assert!((var - 0.4).abs() < 0.01, "mc var {var}");
+    }
+
+    #[test]
+    fn absent_item_gives_zero() {
+        let (_, pub_) = release(vec![vec![0, 1, 2, 3, 4, 5]]);
+        let est = estimate_count(&pub_, 3, &[0]);
+        assert_eq!(est.estimate, 0.0);
+        assert_eq!(est.contributing_groups, 0);
+    }
+
+    #[test]
+    fn empty_predicate_counts_occurrences() {
+        let (_, pub_) = release(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let est = estimate_count(&pub_, 4, &[]);
+        assert!((est.estimate - 2.0).abs() < 1e-12);
+        assert_eq!(est.variance, 0.0); // b = N in every group
+    }
+}

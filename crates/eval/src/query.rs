@@ -1,0 +1,276 @@
+//! Group-by count queries and the random workload generator.
+//!
+//! Queries have the form of eq. (1) of the paper:
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM T
+//! WHERE (sensitive item s is present)
+//!   AND (q_1 = v_1) AND ... AND (q_r = v_r)
+//! ```
+//!
+//! evaluated for every presence/absence combination `v` — i.e. the PDF of
+//! `s` over the `2^r` cells.
+
+use rand::Rng;
+
+use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+
+use crate::cells::MAX_R;
+
+/// One group-by query: a sensitive item and `r` distinct QID items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupByQuery {
+    /// The sensitive item whose distribution is queried.
+    pub sensitive: ItemId,
+    /// The `r` QID items defining the cells (bit `i` of a cell index
+    /// corresponds to `qid[i]`).
+    pub qid: Vec<ItemId>,
+}
+
+impl GroupByQuery {
+    /// Creates a query, validating item distinctness and the cell bound.
+    ///
+    /// # Panics
+    /// Panics if `qid` contains duplicates, contains the sensitive item, or
+    /// exceeds [`MAX_R`] items.
+    pub fn new(sensitive: ItemId, qid: Vec<ItemId>) -> Self {
+        assert!(qid.len() <= MAX_R, "too many group-by items");
+        let mut sorted = qid.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), qid.len(), "duplicate QID items");
+        assert!(
+            !qid.contains(&sensitive),
+            "sensitive item cannot appear in the group-by list"
+        );
+        GroupByQuery { sensitive, qid }
+    }
+
+    /// Number of group-by items `r`.
+    pub fn r(&self) -> usize {
+        self.qid.len()
+    }
+}
+
+/// How the workload generator picks QID items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QidSelection {
+    /// Uniformly among eligible items (the paper's description).
+    Uniform,
+    /// Proportionally to item support. Frequent items produce queries with
+    /// informative (non-degenerate) cell distributions; this is the
+    /// default used by the experiment harness.
+    SupportWeighted,
+}
+
+/// Workload generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of queries (the paper uses 100 per setting).
+    pub n_queries: usize,
+    /// Group-by items per query.
+    pub r: usize,
+    /// Minimum support an item needs to be eligible as a group-by item.
+    pub min_support: usize,
+    /// QID item selection mode.
+    pub selection: QidSelection,
+}
+
+impl WorkloadConfig {
+    /// The paper's setting: 100 queries with `r` group-by items.
+    pub fn new(r: usize) -> Self {
+        WorkloadConfig {
+            n_queries: 100,
+            r,
+            min_support: 1,
+            selection: QidSelection::SupportWeighted,
+        }
+    }
+}
+
+/// Generates a random workload of group-by queries over `data`.
+///
+/// Sensitive items are drawn uniformly from the *occurring* members of
+/// `sensitive`; QID items are drawn (without replacement, per query) from
+/// the non-sensitive items with support >= `min_support`.
+///
+/// Returns an empty vector when no sensitive item occurs or fewer than `r`
+/// QID items are eligible.
+pub fn generate_workload<R: Rng + ?Sized>(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    config: &WorkloadConfig,
+    rng: &mut R,
+) -> Vec<GroupByQuery> {
+    let supports = data.item_supports();
+    let occurring_sensitive: Vec<ItemId> = sensitive
+        .items()
+        .iter()
+        .copied()
+        .filter(|&s| supports[s as usize] > 0)
+        .collect();
+    let eligible: Vec<ItemId> = (0..data.n_items() as u32)
+        .filter(|&i| !sensitive.contains(i) && supports[i as usize] >= config.min_support.max(1))
+        .collect();
+    if occurring_sensitive.is_empty() || eligible.len() < config.r {
+        return Vec::new();
+    }
+    // Cumulative weights for support-weighted selection.
+    let cum: Vec<f64> = match config.selection {
+        QidSelection::Uniform => Vec::new(),
+        QidSelection::SupportWeighted => {
+            let mut acc = 0.0;
+            eligible
+                .iter()
+                .map(|&i| {
+                    acc += supports[i as usize] as f64;
+                    acc
+                })
+                .collect()
+        }
+    };
+
+    let mut out = Vec::with_capacity(config.n_queries);
+    for _ in 0..config.n_queries {
+        let s = occurring_sensitive[rng.gen_range(0..occurring_sensitive.len())];
+        let mut qid: Vec<ItemId> = Vec::with_capacity(config.r);
+        let mut guard = 0;
+        while qid.len() < config.r && guard < 10_000 {
+            guard += 1;
+            let item = match config.selection {
+                QidSelection::Uniform => eligible[rng.gen_range(0..eligible.len())],
+                QidSelection::SupportWeighted => {
+                    let x = rng.gen::<f64>() * cum.last().unwrap();
+                    let idx = cum.partition_point(|&c| c < x);
+                    eligible[idx.min(eligible.len() - 1)]
+                }
+            };
+            if !qid.contains(&item) {
+                qid.push(item);
+            }
+        }
+        if qid.len() == config.r {
+            out.push(GroupByQuery::new(s, qid));
+        }
+    }
+    out
+}
+
+/// Convenience wrapper: a seeded workload of `n_queries` support-weighted
+/// queries with `r` group-by items each.
+pub fn generate_workload_seeded(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    r: usize,
+    n_queries: usize,
+    seed: u64,
+) -> Vec<GroupByQuery> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = WorkloadConfig {
+        n_queries,
+        ..WorkloadConfig::new(r)
+    };
+    generate_workload(data, sensitive, &cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TransactionSet, SensitiveSet) {
+        let rows: Vec<Vec<u32>> = (0..50)
+            .map(|i| vec![i % 5, 5 + (i % 3), if i % 10 == 0 { 9 } else { 8 }])
+            .collect();
+        (
+            TransactionSet::from_rows(&rows, 10),
+            SensitiveSet::new(vec![9], 10),
+        )
+    }
+
+    #[test]
+    fn query_validation() {
+        let q = GroupByQuery::new(9, vec![1, 2, 3]);
+        assert_eq!(q.r(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_qid_rejected() {
+        GroupByQuery::new(9, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitive item cannot")]
+    fn sensitive_in_qid_rejected() {
+        GroupByQuery::new(9, vec![9, 1]);
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let (data, sens) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = generate_workload(&data, &sens, &WorkloadConfig::new(3), &mut rng);
+        assert_eq!(w.len(), 100);
+        for q in &w {
+            assert_eq!(q.sensitive, 9);
+            assert_eq!(q.r(), 3);
+            assert!(q.qid.iter().all(|&i| i != 9));
+        }
+    }
+
+    #[test]
+    fn uniform_selection_works_too() {
+        let (data, sens) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = WorkloadConfig {
+            selection: QidSelection::Uniform,
+            ..WorkloadConfig::new(2)
+        };
+        let w = generate_workload(&data, &sens, &cfg, &mut rng);
+        assert_eq!(w.len(), 100);
+    }
+
+    #[test]
+    fn min_support_filters_items() {
+        let (data, sens) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = WorkloadConfig {
+            min_support: 1_000, // nothing qualifies
+            ..WorkloadConfig::new(2)
+        };
+        let w = generate_workload(&data, &sens, &cfg, &mut rng);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn absent_sensitive_item_yields_empty_workload() {
+        let data = TransactionSet::from_rows(&[vec![0], vec![1]], 4);
+        let sens = SensitiveSet::new(vec![3], 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = generate_workload(&data, &sens, &WorkloadConfig::new(1), &mut rng);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn support_weighted_prefers_frequent_items() {
+        // Item 0 in every transaction, item 1 in one transaction.
+        let mut rows = vec![vec![0u32, 2]; 99];
+        rows.push(vec![0, 1]);
+        let data = TransactionSet::from_rows(&rows, 4);
+        let sens = SensitiveSet::new(vec![2], 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = WorkloadConfig {
+            n_queries: 200,
+            r: 1,
+            min_support: 1,
+            selection: QidSelection::SupportWeighted,
+        };
+        let w = generate_workload(&data, &sens, &cfg, &mut rng);
+        let freq0 = w.iter().filter(|q| q.qid[0] == 0).count();
+        assert!(freq0 > 150, "item 0 picked only {freq0}/200 times");
+    }
+}

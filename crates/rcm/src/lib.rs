@@ -1,0 +1,39 @@
+//! Reverse Cuthill-McKee (RCM) bandwidth reduction.
+//!
+//! Implements the band-matrix reorganization of Section III of the CAHD
+//! paper:
+//!
+//! * [`level::LevelStructure`] — rooted BFS level structures,
+//! * [`peripheral`] — the George–Liu pseudo-peripheral root finder (the
+//!   paper's "compute pseudo-diameter" step),
+//! * [`cm`] — the Cuthill-McKee ordering of one connected component
+//!   (Fig. 4 of the paper),
+//! * [`rcm`] — multi-component orchestration plus the final reversal,
+//! * [`unsym`] — bandwidth reduction for *unsymmetric* (rectangular)
+//!   matrices via the `A x A^T` pattern (Fig. 5 of the paper), including the
+//!   column-ordering strategies used for reporting and visualization,
+//! * [`ordering`] — alternative row orderings (MinHash signatures,
+//!   lexicographic) implementing the paper's dimensionality-reduction
+//!   future-work direction, comparable against RCM,
+//! * [`gps`] — the Gibbs–Poole–Stockmeyer algorithm (the other classic
+//!   bandwidth reducer the paper cites), as an ablatable alternative.
+//!
+//! All algorithms work against the [`cahd_sparse::NeighborOracle`] trait, so
+//! they run identically on materialized adjacency and on the inverted-index
+//! (implicit) representation used for very large inputs.
+
+pub mod cm;
+pub mod gps;
+pub mod level;
+pub mod ordering;
+pub mod peripheral;
+pub mod rcm;
+pub mod unsym;
+
+pub use cm::{cuthill_mckee_component, cuthill_mckee_component_linear};
+pub use gps::gibbs_poole_stockmeyer;
+pub use ordering::{lexicographic_order, minhash_order, RowOrder};
+pub use level::LevelStructure;
+pub use peripheral::pseudo_peripheral;
+pub use rcm::{cuthill_mckee, reverse_cuthill_mckee, reverse_cuthill_mckee_linear};
+pub use unsym::{reduce_unsymmetric, AatMethod, BandReduction, ColumnOrder, UnsymOptions};

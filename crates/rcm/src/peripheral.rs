@@ -1,0 +1,113 @@
+//! George–Liu pseudo-peripheral root finding.
+//!
+//! The bandwidth quality of a Cuthill-McKee ordering depends strongly on
+//! the root: a vertex at one end of a *pseudo-diameter* (a pair of vertices
+//! whose distance is close to the graph diameter) yields deep, narrow level
+//! structures. The paper's Fig. 4 step 1 ("pick peripheral vertex, compute
+//! pseudo-diameter") is realized here with the classic George–Liu iteration:
+//!
+//! 1. start from any vertex `v` of the component,
+//! 2. build the level structure `L(v)`,
+//! 3. let `u` be a minimum-degree vertex of the deepest level,
+//! 4. if `ecc(u) > ecc(v)`, set `v = u` and repeat; otherwise stop.
+//!
+//! The iteration is linear in the component size per round and terminates
+//! because eccentricity strictly increases.
+
+use cahd_sparse::NeighborOracle;
+
+use crate::level::LevelStructure;
+
+/// Finds a pseudo-peripheral vertex of the component containing `start`,
+/// returning it together with its level structure.
+///
+/// `mark`/`stamp_counter` are the reusable visited flags shared with the
+/// other traversals; the function bumps `*stamp_counter` for every BFS it
+/// performs.
+pub fn pseudo_peripheral_with_scratch(
+    g: &impl NeighborOracle,
+    start: u32,
+    mark: &mut [u32],
+    stamp_counter: &mut u32,
+) -> (u32, LevelStructure) {
+    let mut v = start;
+    *stamp_counter += 1;
+    let mut lv = LevelStructure::build(g, v, mark, *stamp_counter);
+    loop {
+        // Minimum-degree vertex in the deepest level.
+        let u = *lv
+            .last_level()
+            .iter()
+            .min_by_key(|&&w| (g.degree(w as usize), w))
+            .expect("levels are non-empty");
+        if u == v {
+            return (v, lv);
+        }
+        *stamp_counter += 1;
+        let lu = LevelStructure::build(g, u, mark, *stamp_counter);
+        if lu.eccentricity() > lv.eccentricity() {
+            v = u;
+            lv = lu;
+        } else {
+            return (v, lv);
+        }
+    }
+}
+
+/// Convenience wrapper that allocates its own scratch space.
+pub fn pseudo_peripheral(g: &impl NeighborOracle, start: u32) -> (u32, LevelStructure) {
+    let mut mark = vec![0u32; g.n_vertices()];
+    let mut stamp = 0u32;
+    pseudo_peripheral_with_scratch(g, start, &mut mark, &mut stamp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cahd_sparse::Graph;
+
+    #[test]
+    fn path_finds_an_end() {
+        // Path 0-1-2-3-4; starting from the middle should walk to an end.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (root, l) = pseudo_peripheral(&g, 2);
+        assert!(root == 0 || root == 4, "got {root}");
+        assert_eq!(l.eccentricity(), 4);
+    }
+
+    #[test]
+    fn star_moves_off_center() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (root, l) = pseudo_peripheral(&g, 0);
+        assert_ne!(root, 0);
+        assert_eq!(l.eccentricity(), 2);
+    }
+
+    #[test]
+    fn already_peripheral_is_stable() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let (root, l) = pseudo_peripheral(&g, 0);
+        assert_eq!(l.eccentricity(), 2);
+        assert!(root == 0 || root == 2);
+    }
+
+    #[test]
+    fn isolated_vertex_returns_itself() {
+        let g = Graph::from_edges(2, &[]);
+        let (root, l) = pseudo_peripheral(&g, 1);
+        assert_eq!(root, 1);
+        assert_eq!(l.n_vertices(), 1);
+    }
+
+    #[test]
+    fn lollipop_prefers_tail_end() {
+        // Clique {0,1,2} with a tail 2-3-4-5: pseudo-peripheral from inside
+        // the clique should reach the tail end (eccentricity 4 from 0/1).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let (_, l) = pseudo_peripheral(&g, 2);
+        assert!(l.eccentricity() >= 4);
+    }
+}

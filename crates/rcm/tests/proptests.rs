@@ -1,0 +1,97 @@
+//! Property-based tests for RCM.
+
+use cahd_rcm::{cuthill_mckee, gibbs_poole_stockmeyer, reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear, UnsymOptions};
+use cahd_sparse::bandwidth::graph_band_stats;
+use cahd_sparse::{CsrMatrix, Graph, Permutation};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn rcm_is_a_permutation(g in arb_graph()) {
+        let p = reverse_cuthill_mckee(&g);
+        prop_assert_eq!(p.len(), g.n_vertices());
+        // from_new_to_old already validates bijectivity; composing with the
+        // inverse must be the identity.
+        prop_assert!(p.then(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn rcm_and_cm_have_equal_bandwidth(g in arb_graph()) {
+        // Reversal cannot change the bandwidth, only the profile.
+        let cm = cuthill_mckee(&g);
+        let rcm = reverse_cuthill_mckee(&g);
+        let bc = graph_band_stats(&g, &cm).bandwidth;
+        let br = graph_band_stats(&g, &rcm).bandwidth;
+        prop_assert_eq!(bc, br);
+    }
+
+    #[test]
+    fn rcm_profile_le_cm_profile(g in arb_graph()) {
+        // The classic Liu–Sherman result: reversing CM never increases the
+        // envelope/profile.
+        let cm = cuthill_mckee(&g);
+        let rcm = reverse_cuthill_mckee(&g);
+        let pc = graph_band_stats(&g, &cm).profile;
+        let pr = graph_band_stats(&g, &rcm).profile;
+        prop_assert!(pr <= pc, "rcm profile {} > cm profile {}", pr, pc);
+    }
+
+    #[test]
+    fn linear_rcm_identical_to_comparison_rcm(g in arb_graph()) {
+        let a = reverse_cuthill_mckee(&g);
+        let b = reverse_cuthill_mckee_linear(&g);
+        prop_assert_eq!(a.new_to_old_slice(), b.new_to_old_slice());
+    }
+
+    #[test]
+    fn gps_is_a_valid_permutation(g in arb_graph()) {
+        let p = gibbs_poole_stockmeyer(&g);
+        prop_assert_eq!(p.len(), g.n_vertices());
+        prop_assert!(p.then(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn components_stay_contiguous(g in arb_graph()) {
+        let p = reverse_cuthill_mckee(&g);
+        let (comp, _) = g.connected_components();
+        // Vertices of one component must occupy a contiguous position range.
+        let n = g.n_vertices();
+        let mut comp_of_pos: Vec<u32> = vec![0; n];
+        for v in 0..n {
+            comp_of_pos[p.old_to_new(v)] = comp[v];
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = u32::MAX;
+        for &c in &comp_of_pos {
+            if c != prev {
+                prop_assert!(seen.insert(c), "component {} split", c);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn unsym_pipeline_valid_permutations(
+        rows in proptest::collection::vec(proptest::collection::vec(0u32..15, 0..6), 1..20)
+    ) {
+        let a = CsrMatrix::from_rows(&rows, 15);
+        let red = reduce_unsymmetric(&a, UnsymOptions::default());
+        prop_assert_eq!(red.row_perm.len(), a.n_rows());
+        prop_assert_eq!(red.col_perm.len(), a.n_cols());
+        // Permuting and measuring with identity must equal measuring the
+        // original with the permutations.
+        let pa = a.permute_rows(&red.row_perm).permute_cols(&red.col_perm);
+        let id_r = Permutation::identity(a.n_rows());
+        let id_c = Permutation::identity(a.n_cols());
+        let direct = cahd_sparse::rect_band_stats(&pa, &id_r, &id_c);
+        prop_assert_eq!(direct.max_row_span, red.after.max_row_span);
+        prop_assert!((direct.mean_row_span - red.after.mean_row_span).abs() < 1e-9);
+    }
+}

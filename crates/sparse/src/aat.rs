@@ -1,0 +1,296 @@
+//! The row-similarity graph: the pattern of `A x A^T`.
+//!
+//! Two transactions (rows of the binary matrix `A`) are adjacent iff they
+//! share at least one item. The paper (Fig. 5) reduces the bandwidth of the
+//! unsymmetric `A` by running RCM on this symmetric pattern.
+//!
+//! Frequent items are a hazard: an item contained in `k` transactions
+//! induces a `k`-clique, i.e. `k(k-1)` directed edges. Real basket data has
+//! items with thousands of occurrences, so materializing the explicit edge
+//! set can explode. [`RowGraph::build`] therefore estimates the edge count
+//! first and falls back to an *implicit* representation — an inverted index
+//! from which the neighbor list of a vertex is computed on demand — when the
+//! estimate exceeds a budget. RCM only ever touches neighbor lists of
+//! vertices it visits, once each, so the implicit form trades memory for a
+//! modest amount of recomputation.
+
+use std::cell::RefCell;
+
+use crate::csr::CsrMatrix;
+use crate::graph::Graph;
+
+/// Vertex-neighborhood access used by the RCM implementation, abstracting
+/// over explicit and implicit row graphs.
+pub trait NeighborOracle {
+    /// Number of vertices.
+    fn n_vertices(&self) -> usize;
+
+    /// Appends the distinct neighbors of `v` (excluding `v` itself) to
+    /// `out`, in unspecified order.
+    fn neighbors_into(&self, v: usize, out: &mut Vec<u32>);
+
+    /// Number of distinct neighbors of `v`.
+    fn degree(&self, v: usize) -> usize;
+}
+
+impl NeighborOracle for Graph {
+    fn n_vertices(&self) -> usize {
+        Graph::n_vertices(self)
+    }
+
+    fn neighbors_into(&self, v: usize, out: &mut Vec<u32>) {
+        out.extend_from_slice(self.neighbors(v));
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        Graph::degree(self, v)
+    }
+}
+
+/// Implicit `A x A^T` pattern: neighbor lists are computed on demand from
+/// the matrix and its transpose (inverted index).
+///
+/// Degrees are cached lazily. Interior mutability makes queries `&self`;
+/// the type is consequently not `Sync` — RCM is single-threaded, as in the
+/// paper.
+pub struct ImplicitRowGraph {
+    rows: CsrMatrix,
+    cols: CsrMatrix,
+    scratch: RefCell<Scratch>,
+}
+
+struct Scratch {
+    /// Visit stamp per vertex; avoids clearing between queries.
+    mark: Vec<u32>,
+    stamp: u32,
+    /// Lazily computed degrees (`u32::MAX` = unknown).
+    degree: Vec<u32>,
+    buf: Vec<u32>,
+}
+
+impl ImplicitRowGraph {
+    /// Builds the implicit graph for the rows of `a`.
+    pub fn new(a: &CsrMatrix) -> Self {
+        let n = a.n_rows();
+        ImplicitRowGraph {
+            rows: a.clone(),
+            cols: a.transpose(),
+            scratch: RefCell::new(Scratch {
+                mark: vec![0; n],
+                stamp: 0,
+                degree: vec![u32::MAX; n],
+                buf: Vec::new(),
+            }),
+        }
+    }
+
+    fn collect_neighbors(&self, v: usize, out: &mut Vec<u32>) {
+        let mut s = self.scratch.borrow_mut();
+        s.stamp = s.stamp.wrapping_add(1);
+        if s.stamp == 0 {
+            // Stamp wrapped; reset marks so stale stamps cannot collide.
+            s.mark.iter_mut().for_each(|m| *m = 0);
+            s.stamp = 1;
+        }
+        let stamp = s.stamp;
+        s.mark[v] = stamp; // exclude self
+        for &item in self.rows.row(v) {
+            for &r in self.cols.row(item as usize) {
+                if s.mark[r as usize] != stamp {
+                    s.mark[r as usize] = stamp;
+                    out.push(r);
+                }
+            }
+        }
+        s.degree[v] = out.len() as u32;
+    }
+}
+
+impl NeighborOracle for ImplicitRowGraph {
+    fn n_vertices(&self) -> usize {
+        self.rows.n_rows()
+    }
+
+    fn neighbors_into(&self, v: usize, out: &mut Vec<u32>) {
+        self.collect_neighbors(v, out);
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        {
+            let s = self.scratch.borrow();
+            if s.degree[v] != u32::MAX {
+                return s.degree[v] as usize;
+            }
+        }
+        let mut buf = {
+            let mut s = self.scratch.borrow_mut();
+            std::mem::take(&mut s.buf)
+        };
+        buf.clear();
+        self.collect_neighbors(v, &mut buf);
+        let d = buf.len();
+        self.scratch.borrow_mut().buf = buf;
+        d
+    }
+}
+
+/// The row-similarity graph of a binary matrix, explicit or implicit.
+pub enum RowGraph {
+    /// Materialized adjacency.
+    Explicit(Graph),
+    /// Inverted-index backed adjacency.
+    Implicit(ImplicitRowGraph),
+}
+
+impl RowGraph {
+    /// Default edge budget for [`RowGraph::build`]: beyond this many
+    /// (estimated, directed) edges the implicit representation is used.
+    pub const DEFAULT_EDGE_BUDGET: usize = 50_000_000;
+
+    /// Upper bound on the number of directed edges of the `A x A^T`
+    /// pattern: every column containing `k` rows contributes at most
+    /// `k (k - 1)` ordered pairs.
+    pub fn estimate_directed_edges(a: &CsrMatrix) -> usize {
+        a.col_counts()
+            .iter()
+            .map(|&k| k.saturating_mul(k.saturating_sub(1)))
+            .fold(0usize, |acc, x| acc.saturating_add(x))
+    }
+
+    /// Builds the row graph, choosing the explicit form when the estimated
+    /// edge count fits in `edge_budget` and the implicit form otherwise.
+    pub fn build(a: &CsrMatrix, edge_budget: usize) -> Self {
+        if Self::estimate_directed_edges(a) <= edge_budget {
+            RowGraph::Explicit(Self::build_explicit(a))
+        } else {
+            RowGraph::Implicit(ImplicitRowGraph::new(a))
+        }
+    }
+
+    /// Always materializes the adjacency.
+    pub fn build_explicit(a: &CsrMatrix) -> Graph {
+        let n = a.n_rows();
+        let cols = a.transpose();
+        let mut mark = vec![u32::MAX; n];
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut nbrs: Vec<u32> = Vec::new();
+            mark[v] = v as u32;
+            for &item in a.row(v) {
+                for &r in cols.row(item as usize) {
+                    if mark[r as usize] != v as u32 {
+                        mark[r as usize] = v as u32;
+                        nbrs.push(r);
+                    }
+                }
+            }
+            rows.push(nbrs);
+        }
+        Graph::from_adjacency_unchecked(CsrMatrix::from_rows(&rows, n))
+    }
+
+    /// Always uses the implicit form.
+    pub fn build_implicit(a: &CsrMatrix) -> ImplicitRowGraph {
+        ImplicitRowGraph::new(a)
+    }
+
+    /// Whether the explicit representation was chosen.
+    pub fn is_explicit(&self) -> bool {
+        matches!(self, RowGraph::Explicit(_))
+    }
+}
+
+impl NeighborOracle for RowGraph {
+    fn n_vertices(&self) -> usize {
+        match self {
+            RowGraph::Explicit(g) => g.n_vertices(),
+            RowGraph::Implicit(g) => g.n_vertices(),
+        }
+    }
+
+    fn neighbors_into(&self, v: usize, out: &mut Vec<u32>) {
+        match self {
+            RowGraph::Explicit(g) => g.neighbors_into(v, out),
+            RowGraph::Implicit(g) => g.neighbors_into(v, out),
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        match self {
+            RowGraph::Explicit(g) => NeighborOracle::degree(g, v),
+            RowGraph::Implicit(g) => g.degree(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // rows 0 and 1 share item 0; rows 1 and 2 share item 2; row 3 isolated
+        CsrMatrix::from_rows(&[vec![0, 1], vec![0, 2], vec![2], vec![3]], 4)
+    }
+
+    fn sorted_neighbors(o: &dyn NeighborOracle, v: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        o.neighbors_into(v, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn explicit_matches_expected() {
+        let g = RowGraph::build_explicit(&sample());
+        assert_eq!(sorted_neighbors(&g, 0), vec![1]);
+        assert_eq!(sorted_neighbors(&g, 1), vec![0, 2]);
+        assert_eq!(sorted_neighbors(&g, 2), vec![1]);
+        assert_eq!(sorted_neighbors(&g, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn implicit_matches_explicit() {
+        let a = sample();
+        let ex = RowGraph::build_explicit(&a);
+        let im = ImplicitRowGraph::new(&a);
+        for v in 0..a.n_rows() {
+            assert_eq!(sorted_neighbors(&ex, v), sorted_neighbors(&im, v), "vertex {v}");
+            assert_eq!(NeighborOracle::degree(&ex, v), im.degree(v));
+        }
+    }
+
+    #[test]
+    fn implicit_degree_cached_and_repeatable() {
+        let im = ImplicitRowGraph::new(&sample());
+        assert_eq!(im.degree(1), 2);
+        assert_eq!(im.degree(1), 2);
+        assert_eq!(sorted_neighbors(&im, 1), vec![0, 2]);
+        assert_eq!(sorted_neighbors(&im, 1), vec![0, 2]);
+    }
+
+    #[test]
+    fn edge_estimate_is_upper_bound() {
+        let a = sample();
+        let est = RowGraph::estimate_directed_edges(&a);
+        let g = RowGraph::build_explicit(&a);
+        let actual: usize = (0..4).map(|v| NeighborOracle::degree(&g, v)).sum();
+        assert!(est >= actual);
+        assert_eq!(est, 2 + 2); // item0: 2 rows -> 2; item2: 2 rows -> 2
+    }
+
+    #[test]
+    fn budget_selects_representation() {
+        let a = sample();
+        assert!(RowGraph::build(&a, 1_000).is_explicit());
+        assert!(!RowGraph::build(&a, 1).is_explicit());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let a = CsrMatrix::from_rows(&[vec![0], vec![0]], 1);
+        let g = RowGraph::build_explicit(&a);
+        assert_eq!(sorted_neighbors(&g, 0), vec![1]);
+        let im = ImplicitRowGraph::new(&a);
+        assert_eq!(sorted_neighbors(&im, 0), vec![1]);
+    }
+}

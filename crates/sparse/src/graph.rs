@@ -1,0 +1,168 @@
+//! Undirected graphs in CSR adjacency form.
+//!
+//! RCM operates on the graph whose adjacency pattern is a symmetric sparse
+//! matrix (paper Section III). A [`Graph`] is that pattern with self-loops
+//! removed, plus the degree and connected-component queries RCM needs.
+
+use crate::csr::CsrMatrix;
+
+/// An undirected graph stored as symmetric CSR adjacency (no self-loops).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    adj: CsrMatrix,
+}
+
+impl Graph {
+    /// Builds a graph from a symmetric pattern matrix, dropping diagonal
+    /// entries.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square. Symmetry is the caller's
+    /// responsibility (checked in debug builds only — it is O(nnz) but the
+    /// matrices can be large).
+    pub fn from_symmetric_pattern(m: &CsrMatrix) -> Self {
+        assert_eq!(m.n_rows(), m.n_cols(), "adjacency must be square");
+        debug_assert!(m.is_symmetric(), "adjacency must be symmetric");
+        let rows: Vec<Vec<u32>> = (0..m.n_rows())
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .copied()
+                    .filter(|&c| c as usize != r)
+                    .collect()
+            })
+            .collect();
+        Graph {
+            adj: CsrMatrix::from_rows(&rows, m.n_cols()),
+        }
+    }
+
+    /// Builds a graph from an undirected edge list on `n` vertices.
+    /// Each `(u, v)` is inserted in both directions; self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+            rows[u as usize].push(v);
+            rows[v as usize].push(u);
+        }
+        Graph {
+            adj: CsrMatrix::from_rows(&rows, n),
+        }
+    }
+
+    /// Builds directly from an adjacency matrix known to be symmetric and
+    /// loop-free (used by the `A x A^T` construction which guarantees both).
+    pub(crate) fn from_adjacency_unchecked(adj: CsrMatrix) -> Self {
+        Graph { adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.adj.n_rows()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        self.adj.row(v)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_len(v)
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The underlying adjacency pattern.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Assigns each vertex a component id (`0..k`), in order of first
+    /// discovery, and returns `(component_of, k)`.
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let n = self.n_vertices();
+        let mut comp = vec![u32::MAX; n];
+        let mut k = 0u32;
+        let mut queue: Vec<u32> = Vec::new();
+        for start in 0..n {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = k;
+            queue.clear();
+            queue.push(start as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let v = queue[head] as usize;
+                head += 1;
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = k;
+                        queue.push(w);
+                    }
+                }
+            }
+            k += 1;
+        }
+        (comp, k as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetric_dedup() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 3)]);
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn from_symmetric_pattern_drops_diagonal() {
+        let m = CsrMatrix::from_rows(&[vec![0, 1], vec![0, 1]], 2);
+        let g = Graph::from_symmetric_pattern(&m);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn components_found_in_discovery_order() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let (comp, k) = g.connected_components();
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(comp[5], 2); // isolated vertex discovered last
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.n_vertices(), 0);
+        assert_eq!(g.connected_components().1, 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Validated permutations (bijections on `0..n`).
+//!
+//! RCM produces an ordering of graph vertices; applying it to a matrix and
+//! measuring bandwidth both need the mapping in each direction, so a
+//! [`Permutation`] stores both the `old -> new` and `new -> old` views.
+
+use std::fmt;
+
+/// Error returned when a vector of indices is not a bijection on `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation {
+    /// The first offending index, if one exists (out of range or repeated).
+    pub offending: Option<usize>,
+}
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offending {
+            Some(i) => write!(f, "index {i} is out of range or repeated"),
+            None => write!(f, "vector is not a permutation"),
+        }
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+/// A bijection on `0..n` with O(1) lookup in both directions.
+///
+/// # Examples
+///
+/// ```
+/// use cahd_sparse::Permutation;
+///
+/// // An ordering: position 0 holds old index 2, etc.
+/// let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.old_to_new(2), 0);
+/// assert!(p.then(&p.inverse()).is_identity());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `old_to_new[i]` is the new position of old index `i`.
+    old_to_new: Vec<u32>,
+    /// `new_to_old[i]` is the old index placed at new position `i`.
+    new_to_old: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<u32> = (0..n as u32).collect();
+        Permutation {
+            old_to_new: v.clone(),
+            new_to_old: v,
+        }
+    }
+
+    /// Builds from an *ordering*: `order[k]` is the old index placed at new
+    /// position `k`. This is the natural output format of RCM ("output R in
+    /// reverse order").
+    pub fn from_new_to_old(order: Vec<u32>) -> Result<Self, NotAPermutation> {
+        let n = order.len();
+        let mut inv = vec![u32::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            let old = old as usize;
+            if old >= n || inv[old] != u32::MAX {
+                return Err(NotAPermutation {
+                    offending: Some(old),
+                });
+            }
+            inv[old] = new as u32;
+        }
+        Ok(Permutation {
+            old_to_new: inv,
+            new_to_old: order,
+        })
+    }
+
+    /// Builds from a *relabeling*: `map[i]` is the new position of old index
+    /// `i` (the `delta` of the paper's Section III).
+    pub fn from_old_to_new(map: Vec<u32>) -> Result<Self, NotAPermutation> {
+        let inv = Permutation::from_new_to_old(map)?;
+        Ok(Permutation {
+            old_to_new: inv.new_to_old,
+            new_to_old: inv.old_to_new,
+        })
+    }
+
+    /// Number of elements permuted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Whether the permutation is on the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.old_to_new.is_empty()
+    }
+
+    /// New position of old index `i`.
+    #[inline]
+    pub fn old_to_new(&self, i: usize) -> usize {
+        self.old_to_new[i] as usize
+    }
+
+    /// Old index at new position `i`.
+    #[inline]
+    pub fn new_to_old(&self, i: usize) -> usize {
+        self.new_to_old[i] as usize
+    }
+
+    /// The `old -> new` view as a slice.
+    pub fn old_to_new_slice(&self) -> &[u32] {
+        &self.old_to_new
+    }
+
+    /// The `new -> old` view as a slice.
+    pub fn new_to_old_slice(&self) -> &[u32] {
+        &self.new_to_old
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            old_to_new: self.new_to_old.clone(),
+            new_to_old: self.old_to_new.clone(),
+        }
+    }
+
+    /// Composition: applies `self` first, then `other` (so
+    /// `result.old_to_new(i) == other.old_to_new(self.old_to_new(i))`).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation length mismatch");
+        let old_to_new: Vec<u32> = self
+            .old_to_new
+            .iter()
+            .map(|&mid| other.old_to_new[mid as usize])
+            .collect();
+        Permutation::from_old_to_new(old_to_new).expect("composition of bijections")
+    }
+
+    /// Reverses the ordering: new position `k` becomes `n - 1 - k`. This is
+    /// the "reverse" step of Reverse Cuthill-McKee.
+    pub fn reversed(&self) -> Permutation {
+        let n = self.len() as u32;
+        let new_to_old: Vec<u32> = self.new_to_old.iter().rev().copied().collect();
+        let mut old_to_new = self.old_to_new.clone();
+        for v in &mut old_to_new {
+            *v = n - 1 - *v;
+        }
+        Permutation {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.old_to_new
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i as u32 == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.old_to_new(3), 3);
+        assert_eq!(p.new_to_old(3), 3);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn from_order_and_inverse() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.new_to_old(0), 2);
+        assert_eq!(p.old_to_new(2), 0);
+        let inv = p.inverse();
+        assert_eq!(inv.old_to_new(0), 2);
+        assert!(p.then(&inv).is_identity());
+        assert!(inv.then(&p).is_identity());
+    }
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(Permutation::from_new_to_old(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_to_old(vec![0, 2]).is_err());
+        assert!(Permutation::from_old_to_new(vec![1, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn reversed_flips_positions() {
+        let p = Permutation::identity(4).reversed();
+        assert_eq!(p.old_to_new(0), 3);
+        assert_eq!(p.old_to_new(3), 0);
+        assert_eq!(p.new_to_old(0), 3);
+        assert!(p.reversed().is_identity());
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        // p: 0->1->2->0 cycle; q: swap 0,1
+        let p = Permutation::from_old_to_new(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_old_to_new(vec![1, 0, 2]).unwrap();
+        let pq = p.then(&q);
+        assert_eq!(pq.old_to_new(0), 0); // 0 -p-> 1 -q-> 0
+        assert_eq!(pq.old_to_new(1), 2); // 1 -p-> 2 -q-> 2
+        assert_eq!(pq.old_to_new(2), 1); // 2 -p-> 0 -q-> 1
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+}

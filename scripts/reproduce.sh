@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Reproduces everything: tests, paper-scale experiments, micro-benchmarks.
+# Outputs: test_output.txt, bench_output.txt, results/ (tables as CSV,
+# Fig. 6 panels as PGM, full logs).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== building =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== paper-scale experiments (tables I-II, figures 6, 9-13) =="
+cargo run --release -p cahd-bench --bin experiments -- \
+    --scale 1.0 --seed 42 --out results --quiet-panels all \
+    2>&1 | tee results/full_run.txt
+
+echo "== extension experiments =="
+cargo run --release -p cahd-bench --bin experiments -- \
+    --scale 1.0 --seed 42 --out results --quiet-panels \
+    ext-orderings ext-generalization ext-mining ext-weighted \
+    ext-attack ext-refine ext-skew \
+    2>&1 | tee results/extensions_run.txt
+
+echo "== criterion micro-benchmarks =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done; see EXPERIMENTS.md for the paper-vs-measured comparison."
