@@ -207,7 +207,7 @@ mod tests {
     fn infeasible_detected() {
         let (d, _) = data();
         let s = SensitiveSet::new(vec![0], 10); // support 3 within 20? see below
-        // item 0 appears in transactions 0, 8, 16 -> support 3; p=8: 24>20.
+                                                // item 0 appears in transactions 0, 8, 16 -> support 3; p=8: 24>20.
         assert!(matches!(
             random_grouping(&d, &s, 8, 1),
             Err(CahdError::Infeasible { .. })

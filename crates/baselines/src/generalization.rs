@@ -112,7 +112,7 @@ impl GeneralizedRelease {
     /// — the information-loss headline of the dimensionality curse.
     pub fn mixed_fraction(&self) -> f64 {
         let possible: usize = self.groups.iter().map(|g| g.possible.len()).sum();
-        let mixed: usize = self.groups.iter().map(|g| g.n_mixed()).sum();
+        let mixed: usize = self.groups.iter().map(GeneralizedGroup::n_mixed).sum();
         if possible == 0 {
             0.0
         } else {
@@ -206,10 +206,7 @@ mod tests {
     use super::*;
 
     fn data() -> (TransactionSet, SensitiveSet) {
-        let d = TransactionSet::from_rows(
-            &[vec![0, 1, 4], vec![0, 1], vec![0, 2], vec![3]],
-            5,
-        );
+        let d = TransactionSet::from_rows(&[vec![0, 1, 4], vec![0, 1], vec![0, 2], vec![3]], 5);
         (d, SensitiveSet::new(vec![4], 5))
     }
 

@@ -288,8 +288,16 @@ mod tests {
         assert!(stats.splits_performed >= 1);
         // Transactions 0 and 1 live in different item blocks; PM's first
         // balanced split must separate them.
-        let gi0 = pub_.groups.iter().position(|g| g.members.contains(&0)).unwrap();
-        let gi1 = pub_.groups.iter().position(|g| g.members.contains(&1)).unwrap();
+        let gi0 = pub_
+            .groups
+            .iter()
+            .position(|g| g.members.contains(&0))
+            .unwrap();
+        let gi1 = pub_
+            .groups
+            .iter()
+            .position(|g| g.members.contains(&1))
+            .unwrap();
         assert_ne!(gi0, gi1);
     }
 

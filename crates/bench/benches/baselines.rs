@@ -15,13 +15,13 @@ fn bench_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("methods/p10");
     g.sample_size(20);
     g.bench_function("cahd_grouping", |b| {
-        b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(10)).unwrap())
+        b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(10)).unwrap());
     });
     g.bench_function("perm_mondrian", |b| {
-        b.iter(|| perm_mondrian(&prep.data, &sens, &PmConfig::new(10)).unwrap())
+        b.iter(|| perm_mondrian(&prep.data, &sens, &PmConfig::new(10)).unwrap());
     });
     g.bench_function("random_grouping", |b| {
-        b.iter(|| random_grouping(&prep.data, &sens, 10, 3).unwrap())
+        b.iter(|| random_grouping(&prep.data, &sens, 10, 3).unwrap());
     });
     g.finish();
 }
@@ -32,14 +32,14 @@ fn bench_pm_split_heuristics(c: &mut Criterion) {
     let mut g = c.benchmark_group("pm/split_heuristic");
     g.sample_size(20);
     g.bench_function("enhanced", |b| {
-        b.iter(|| perm_mondrian(&data, &sens, &PmConfig::new(10)).unwrap())
+        b.iter(|| perm_mondrian(&data, &sens, &PmConfig::new(10)).unwrap());
     });
     g.bench_function("plain_cardinality", |b| {
         let cfg = PmConfig {
             enhanced_split: false,
             ..PmConfig::new(10)
         };
-        b.iter(|| perm_mondrian(&data, &sens, &cfg).unwrap())
+        b.iter(|| perm_mondrian(&data, &sens, &cfg).unwrap());
     });
     g.finish();
 }

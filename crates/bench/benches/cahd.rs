@@ -14,7 +14,7 @@ fn bench_privacy_degree(c: &mut Criterion) {
     let mut g = c.benchmark_group("cahd/privacy_degree");
     for p in [4usize, 10, 20] {
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(p)).unwrap())
+            b.iter(|| cahd(&prep.permuted, &sens, &CahdConfig::new(p)).unwrap());
         });
     }
     g.finish();
@@ -27,8 +27,13 @@ fn bench_alpha(c: &mut Criterion) {
     for alpha in [1usize, 2, 3, 4, 5] {
         g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
             b.iter(|| {
-                cahd(&prep.permuted, &sens, &CahdConfig::new(10).with_alpha(alpha)).unwrap()
-            })
+                cahd(
+                    &prep.permuted,
+                    &sens,
+                    &CahdConfig::new(10).with_alpha(alpha),
+                )
+                .unwrap()
+            });
         });
     }
     g.finish();
@@ -40,11 +45,16 @@ fn bench_sensitive_count(c: &mut Criterion) {
     for m in [5usize, 10, 20] {
         let sens = select_sensitive(&prep.data, m, 20, 11);
         g.bench_with_input(BenchmarkId::from_parameter(m), &sens, |b, sens| {
-            b.iter(|| cahd(&prep.permuted, sens, &CahdConfig::new(10)).unwrap())
+            b.iter(|| cahd(&prep.permuted, sens, &CahdConfig::new(10)).unwrap());
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_privacy_degree, bench_alpha, bench_sensitive_count);
+criterion_group!(
+    benches,
+    bench_privacy_degree,
+    bench_alpha,
+    bench_sensitive_count
+);
 criterion_main!(benches);

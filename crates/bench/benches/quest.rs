@@ -9,10 +9,10 @@ fn bench_profiles(c: &mut Criterion) {
     let mut g = c.benchmark_group("quest/profiles");
     g.sample_size(10);
     g.bench_function("bms1_scale0.1", |b| {
-        b.iter(|| QuestGenerator::new(profiles::bms1_config(0.1), 7).generate())
+        b.iter(|| QuestGenerator::new(profiles::bms1_config(0.1), 7).generate());
     });
     g.bench_function("bms2_scale0.1", |b| {
-        b.iter(|| QuestGenerator::new(profiles::bms2_config(0.1), 7).generate())
+        b.iter(|| QuestGenerator::new(profiles::bms2_config(0.1), 7).generate());
     });
     g.finish();
 }
@@ -21,7 +21,7 @@ fn bench_fig6_correlations(c: &mut Criterion) {
     let mut g = c.benchmark_group("quest/fig6");
     for corr in [0.1, 0.5, 0.9] {
         g.bench_with_input(BenchmarkId::from_parameter(corr), &corr, |b, &corr| {
-            b.iter(|| QuestGenerator::new(profiles::fig6_config(corr), 7).generate())
+            b.iter(|| QuestGenerator::new(profiles::fig6_config(corr), 7).generate());
         });
     }
     g.finish();

@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cahd_data::profiles;
-use cahd_rcm::{reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear, AatMethod, UnsymOptions};
+use cahd_rcm::{
+    reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear, AatMethod,
+    UnsymOptions,
+};
 use cahd_sparse::RowGraph;
 
 fn bench_rcm_correlation(c: &mut Criterion) {
@@ -12,7 +15,7 @@ fn bench_rcm_correlation(c: &mut Criterion) {
     for corr in [0.1, 0.5, 0.9] {
         let data = profiles::fig6_like(corr, 7);
         g.bench_with_input(BenchmarkId::from_parameter(corr), &data, |b, data| {
-            b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()))
+            b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()));
         });
     }
     g.finish();
@@ -24,7 +27,7 @@ fn bench_rcm_dataset_scale(c: &mut Criterion) {
     for scale in [0.05, 0.1, 0.2] {
         let data = profiles::bms1_like(scale, 7);
         g.bench_with_input(BenchmarkId::from_parameter(scale), &data, |b, data| {
-            b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()))
+            b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()));
         });
     }
     g.finish();
@@ -38,13 +41,13 @@ fn bench_explicit_vs_implicit(c: &mut Criterion) {
         b.iter(|| {
             let graph = RowGraph::build(data.matrix(), usize::MAX);
             reverse_cuthill_mckee(&graph)
-        })
+        });
     });
     g.bench_function("implicit", |b| {
         b.iter(|| {
             let graph = RowGraph::build(data.matrix(), 0);
             reverse_cuthill_mckee(&graph)
-        })
+        });
     });
     g.finish();
 }
@@ -54,8 +57,12 @@ fn bench_linear_vs_comparison(c: &mut Criterion) {
     let graph = RowGraph::build_explicit(data.matrix());
     let mut g = c.benchmark_group("rcm/cm_variant");
     g.sample_size(10);
-    g.bench_function("comparison_sort", |b| b.iter(|| reverse_cuthill_mckee(&graph)));
-    g.bench_function("counting_sort", |b| b.iter(|| reverse_cuthill_mckee_linear(&graph)));
+    g.bench_function("comparison_sort", |b| {
+        b.iter(|| reverse_cuthill_mckee(&graph))
+    });
+    g.bench_function("counting_sort", |b| {
+        b.iter(|| reverse_cuthill_mckee_linear(&graph))
+    });
     g.finish();
 }
 
@@ -64,7 +71,7 @@ fn bench_aat_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("rcm/aat_method");
     g.sample_size(10);
     g.bench_function("product", |b| {
-        b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()))
+        b.iter(|| reduce_unsymmetric(data.matrix(), UnsymOptions::default()));
     });
     g.bench_function("sum", |b| {
         b.iter(|| {
@@ -75,7 +82,7 @@ fn bench_aat_methods(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
-        })
+        });
     });
     g.finish();
 }

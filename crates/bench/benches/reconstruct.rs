@@ -19,7 +19,7 @@ fn bench_workload_evaluation(c: &mut Criterion) {
     for r in [2usize, 4, 8] {
         let queries = generate_workload_seeded(&prep.data, &sens, r, 100, 5);
         g.bench_with_input(BenchmarkId::from_parameter(r), &queries, |b, q| {
-            b.iter(|| evaluate_workload(&prep.data, &release, q))
+            b.iter(|| evaluate_workload(&prep.data, &release, q));
         });
     }
     g.finish();
@@ -34,7 +34,7 @@ fn bench_reidentification(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);
                 reidentification_probability(&data, None, k, 2_000, &mut rng)
-            })
+            });
         });
     }
     g.finish();

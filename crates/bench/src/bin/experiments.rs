@@ -52,12 +52,25 @@ fn main() -> ExitCode {
     }
     if cmds.iter().any(|c| c == "all") {
         cmds = [
-            "table1", "table2", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "ext-orderings", "ext-generalization", "ext-mining", "ext-weighted", "ext-attack", "ext-refine", "ext-skew",
+            "table1",
+            "table2",
+            "fig6",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ext-orderings",
+            "ext-generalization",
+            "ext-mining",
+            "ext-weighted",
+            "ext-attack",
+            "ext-refine",
+            "ext-skew",
         ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     }
 
     eprintln!(
@@ -85,7 +98,7 @@ fn main() -> ExitCode {
             "fig13" => println!("{}", experiments::fig13(&ctx).render()),
             "ext-orderings" => println!("{}", extensions::ext_orderings(&ctx).render()),
             "ext-generalization" => {
-                println!("{}", extensions::ext_generalization(&ctx).render())
+                println!("{}", extensions::ext_generalization(&ctx).render());
             }
             "ext-mining" => println!("{}", extensions::ext_mining(&ctx).render()),
             "ext-weighted" => println!("{}", extensions::ext_weighted(&ctx).render()),

@@ -27,7 +27,9 @@ use rand::SeedableRng;
 
 use crate::context::{DatasetId, ExperimentContext};
 use crate::report::{fmt_secs, Table};
-use crate::runs::{kl_of, prepare, run_cahd, run_pm, run_random, select_sensitive, PreparedDataset};
+use crate::runs::{
+    kl_of, prepare, run_cahd, run_pm, run_random, select_sensitive, PreparedDataset,
+};
 
 fn write_csv(ctx: &ExperimentContext, table: &Table, name: &str) {
     if let Some(dir) = &ctx.out_dir {
@@ -80,8 +82,8 @@ pub fn table2(ctx: &ExperimentContext) -> Table {
         let mut cells: Vec<String> = vec![id.name().into()];
         for k in 1..=4 {
             let mut rng = StdRng::seed_from_u64(ctx.sub_seed(&format!("table2-{k}")));
-            let p = reidentification_probability(&data, None, k, trials, &mut rng)
-                .unwrap_or(f64::NAN);
+            let p =
+                reidentification_probability(&data, None, k, trials, &mut rng).unwrap_or(f64::NAN);
             cells.push(format!("{:.1}%", p * 100.0));
         }
         cells.push(pref.into());
@@ -143,8 +145,14 @@ pub fn fig6(ctx: &ExperimentContext) -> (Table, Vec<String>) {
         ));
         if let Some(dir) = &ctx.out_dir {
             let _ = std::fs::create_dir_all(dir);
-            let _ = std::fs::write(dir.join(format!("fig6_corr{corr}_before.pgm")), before.to_pgm());
-            let _ = std::fs::write(dir.join(format!("fig6_corr{corr}_after.pgm")), after.to_pgm());
+            let _ = std::fs::write(
+                dir.join(format!("fig6_corr{corr}_before.pgm")),
+                before.to_pgm(),
+            );
+            let _ = std::fs::write(
+                dir.join(format!("fig6_corr{corr}_after.pgm")),
+                after.to_pgm(),
+            );
         }
     }
     write_csv(ctx, &t, "fig6");
@@ -317,7 +325,13 @@ pub fn fig13(ctx: &ExperimentContext) -> Table {
     for alpha in [1usize, 2, 3, 4, 5] {
         let res = run_cahd(&prep, &sens, 10, alpha).expect("feasible");
         verify_published(&prep.data, &sens, &res.published, 10).expect("valid");
-        let kl = kl_of(&prep.data, &sens, &res.published, 4, ctx.sub_seed("fig13-q"));
+        let kl = kl_of(
+            &prep.data,
+            &sens,
+            &res.published,
+            4,
+            ctx.sub_seed("fig13-q"),
+        );
         t.row(&[
             alpha.to_string(),
             format!("{:.4}", kl.mean_kl),

@@ -39,7 +39,13 @@ fn write_csv(ctx: &ExperimentContext, table: &Table, name: &str) {
 pub fn ext_orderings(ctx: &ExperimentContext) -> Table {
     let mut t = Table::new(
         "Ext: row-ordering strategies (p = 10, m = 10, r = 4)",
-        &["dataset", "ordering", "adjacent overlap", "order secs", "CAHD KL"],
+        &[
+            "dataset",
+            "ordering",
+            "adjacent overlap",
+            "order secs",
+            "CAHD KL",
+        ],
     );
     let correlated = cahd_data::profiles::fig6_like(0.9, ctx.sub_seed("extord-corr"));
     let datasets: [(&str, cahd_data::TransactionSet); 2] = [
@@ -116,7 +122,11 @@ pub fn ext_generalization(ctx: &ExperimentContext) -> Table {
                     n_gen += 1;
                 }
             }
-            let kl_gen = if n_gen == 0 { f64::NAN } else { kl_gen_sum / n_gen as f64 };
+            let kl_gen = if n_gen == 0 {
+                f64::NAN
+            } else {
+                kl_gen_sum / n_gen as f64
+            };
             let kl_pm = evaluate_workload(&prep.data, &pm_rel, &queries).mean_kl;
             let kl_cahd = evaluate_workload(&prep.data, &cahd_rel, &queries).mean_kl;
             t.row(&[
@@ -184,8 +194,7 @@ pub fn ext_mining(ctx: &ExperimentContext) -> Table {
                         }
                     }
                 }
-                let best_q = (0..prep.data.n_items() as u32)
-                    .max_by_key(|&q| cooc[q as usize])?;
+                let best_q = (0..prep.data.n_items() as u32).max_by_key(|&q| cooc[q as usize])?;
                 (cooc[best_q as usize] > 0).then(|| (s, vec![best_q]))
             })
             .collect();
@@ -250,10 +259,13 @@ pub fn ext_weighted(ctx: &ExperimentContext) -> Table {
     let red = cahd_rcm::reduce_unsymmetric(data.pattern(), UnsymOptions::default());
     let permuted = data.permute(&red.row_perm);
 
-    for sim in [WeightedSimilarity::PresenceOverlap, WeightedSimilarity::MinCount] {
+    for sim in [
+        WeightedSimilarity::PresenceOverlap,
+        WeightedSimilarity::MinCount,
+    ] {
         let t0 = Instant::now();
-        let (pub_, _) = cahd_weighted(&permuted, &sens, &CahdConfig::new(10), sim)
-            .expect("feasible");
+        let (pub_, _) =
+            cahd_weighted(&permuted, &sens, &CahdConfig::new(10), sim).expect("feasible");
         let secs = t0.elapsed();
         // Within-group rating coherence: mean |count_a - count_b| over
         // shared items of member pairs (lower = groups preserve rating
@@ -302,7 +314,15 @@ pub fn ext_refine(ctx: &ExperimentContext) -> Table {
     use cahd_core::{intra_group_overlap, refine_groups, verify_published};
     let mut t = Table::new(
         "Ext: swap refinement after CAHD (m = 10, r = 4, window = 2)",
-        &["dataset", "p", "overlap before", "overlap after", "KL before", "KL after", "swaps"],
+        &[
+            "dataset",
+            "p",
+            "overlap before",
+            "overlap after",
+            "KL before",
+            "KL after",
+            "swaps",
+        ],
     );
     for id in DatasetId::ALL {
         let prep = prepare(ctx.dataset(id), UnsymOptions::default());
@@ -354,10 +374,9 @@ pub fn ext_skew(ctx: &ExperimentContext) -> Table {
         let data = cahd_data::QuestGenerator::new(cfg, ctx.sub_seed("extskew")).generate();
         let mut cells = vec![format!("{skew:.1}")];
         for k in 1..=4 {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extskew-{k}")));
-            let p = reidentification_probability(&data, None, k, 10_000, &mut rng)
-                .unwrap_or(f64::NAN);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extskew-{k}")));
+            let p =
+                reidentification_probability(&data, None, k, 10_000, &mut rng).unwrap_or(f64::NAN);
             cells.push(format!("{:.1}%", p * 100.0));
         }
         t.row(&cells);
@@ -373,7 +392,14 @@ pub fn ext_attack(ctx: &ExperimentContext) -> Table {
     use rand::SeedableRng as _;
     let mut t = Table::new(
         "Ext: linkage attack, mean posterior on the true sensitive item (p = 10, m = 10)",
-        &["dataset", "k", "raw", "released", "released max", "bound 1/p"],
+        &[
+            "dataset",
+            "k",
+            "raw",
+            "released",
+            "released max",
+            "bound 1/p",
+        ],
     );
     let p = 10;
     for id in DatasetId::ALL {
@@ -381,11 +407,9 @@ pub fn ext_attack(ctx: &ExperimentContext) -> Table {
         let sens = select_sensitive(&prep.data, 10, 20, ctx.sub_seed("extatk-sens"));
         let release = run_cahd(&prep, &sens, p, 3).expect("feasible").published;
         for k in [1usize, 2, 3] {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
             let raw = attack_raw(&prep.data, &sens, k, 2_000, &mut rng);
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.sub_seed(&format!("extatk-{k}")));
             let rel = attack_published(&prep.data, &sens, &release, k, 2_000, &mut rng);
             let (Some(raw), Some(rel)) = (raw, rel) else {
                 continue;

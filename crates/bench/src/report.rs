@@ -18,7 +18,10 @@ impl Table {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -36,7 +39,7 @@ impl Table {
 
     /// Renders the table as aligned text.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());
@@ -50,7 +53,7 @@ impl Table {
                 if i > 0 {
                     s.push_str("  ");
                 }
-                let _ = write!(s, "{c:>w$}", w = w);
+                let _ = write!(s, "{c:>w$}");
             }
             s
         };
@@ -76,7 +79,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -1,0 +1,283 @@
+//! `cahd-check` — a composable release-analysis pass framework.
+//!
+//! A release of anonymized transaction data must satisfy a stack of
+//! properties: coverage, QID fidelity, correct sensitive summaries, the
+//! privacy degree, feasibility of the chosen parameters, and (soft)
+//! quality expectations on the grouping. The core verifier
+//! ([`cahd_core::verify`]) is the trusted gate for the hard properties;
+//! this crate layers a *reporting framework* on top of it:
+//!
+//! * every check is an independent [`Pass`] over
+//!   `(TransactionSet, SensitiveSet, PublishedDataset, p)`;
+//! * passes emit [`Diagnostic`]s with **stable codes** (`CAHD-C001`,
+//!   `CAHD-P001`, ... — see `docs/CHECKS.md`) and a severity, and a
+//!   registry run reports *all* findings instead of failing fast;
+//! * the aggregated [`CheckReport`] renders compiler-style text for humans
+//!   or JSON for tooling (`cahd check --json`).
+//!
+//! ```
+//! use cahd_check::{default_registry, CheckInput};
+//! use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+//! use cahd_data::{SensitiveSet, TransactionSet};
+//!
+//! let data = TransactionSet::from_rows(
+//!     &[vec![0, 1, 4], vec![0, 1], vec![2, 3, 5], vec![2, 3], vec![0, 2]],
+//!     6,
+//! );
+//! let sensitive = SensitiveSet::new(vec![4, 5], 6);
+//! let result = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2))
+//!     .anonymize(&data, &sensitive)
+//!     .unwrap();
+//! let report = default_registry().run(&CheckInput {
+//!     data: &data,
+//!     sensitive: &sensitive,
+//!     published: &result.published,
+//!     p: 2,
+//! });
+//! assert!(report.is_clean());
+//! ```
+
+use cahd_core::PublishedDataset;
+use cahd_data::{SensitiveSet, TransactionSet};
+
+mod diagnostic;
+mod passes;
+mod report;
+
+pub use diagnostic::{Diagnostic, Severity};
+pub use passes::{
+    BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity,
+    SensitiveSummary,
+};
+pub use report::CheckReport;
+
+/// Everything a pass may look at: the original data, the sensitive set,
+/// the release under scrutiny and the privacy degree it claims.
+pub struct CheckInput<'a> {
+    /// The original (pre-anonymization) transactions.
+    pub data: &'a TransactionSet,
+    /// The sensitive item set the release was built for.
+    pub sensitive: &'a SensitiveSet,
+    /// The release being checked.
+    pub published: &'a PublishedDataset,
+    /// The required privacy degree.
+    pub p: usize,
+}
+
+/// An ordered collection of passes, run as one unit.
+#[derive(Default)]
+pub struct Registry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Registry {
+    /// An empty registry; add passes with [`Registry::register`].
+    pub fn new() -> Self {
+        Registry { passes: Vec::new() }
+    }
+
+    /// Appends a pass. Passes run in registration order.
+    pub fn register(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The registered passes.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Runs every pass over `input` and aggregates all findings.
+    pub fn run(&self, input: &CheckInput<'_>) -> CheckReport {
+        let mut diagnostics = Vec::new();
+        let mut passes_run = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            pass.run(input, &mut diagnostics);
+            passes_run.push(pass.name());
+        }
+        CheckReport {
+            diagnostics,
+            passes_run,
+            required_degree: input.p,
+        }
+    }
+}
+
+/// The full built-in registry: config sanity, feasibility, coverage, QID
+/// fidelity, sensitive summaries, privacy degree and band quality.
+pub fn default_registry() -> Registry {
+    Registry::new()
+        .register(ConfigSanity)
+        .register(Feasibility)
+        .register(Coverage)
+        .register(QidFidelity)
+        .register(SensitiveSummary)
+        .register(PrivacyDegree)
+        .register(BandQuality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cahd_core::cahd::{cahd, CahdConfig};
+    use cahd_core::AnonymizedGroup;
+
+    fn setup() -> (TransactionSet, SensitiveSet, PublishedDataset) {
+        let data = TransactionSet::from_rows(
+            &[
+                vec![0, 1, 4],
+                vec![0, 1],
+                vec![2, 3],
+                vec![2, 3, 5],
+                vec![0, 3],
+                vec![1, 2],
+            ],
+            6,
+        );
+        let sens = SensitiveSet::new(vec![4, 5], 6);
+        let (pub_, _) = cahd(&data, &sens, &CahdConfig::new(2)).unwrap();
+        (data, sens, pub_)
+    }
+
+    fn run(
+        data: &TransactionSet,
+        sens: &SensitiveSet,
+        pub_: &PublishedDataset,
+        p: usize,
+    ) -> CheckReport {
+        default_registry().run(&CheckInput {
+            data,
+            sensitive: sens,
+            published: pub_,
+            p,
+        })
+    }
+
+    #[test]
+    fn clean_release_is_clean() {
+        let (data, sens, pub_) = setup();
+        let report = run(&data, &sens, &pub_, 2);
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert_eq!(report.passes_run.len(), 7);
+    }
+
+    #[test]
+    fn tampered_release_yields_three_distinct_codes_in_one_run() {
+        // The acceptance scenario: several independent tamperings must all
+        // surface in a single registry run.
+        let (data, sens, mut pub_) = setup();
+        pub_.groups[0].qid_rows[0] = vec![3]; // CAHD-Q001
+        pub_.groups[0].members[1] = 99; // CAHD-C002 (+ C001 for the orphan)
+        if let Some(g) = pub_
+            .groups
+            .iter_mut()
+            .find(|g| !g.sensitive_counts.is_empty())
+        {
+            g.sensitive_counts[0].1 += 1; // CAHD-S001 (and likely P001)
+        }
+        let report = run(&data, &sens, &pub_, 2);
+        assert!(!report.is_clean());
+        let codes = report.distinct_codes();
+        assert!(
+            codes.len() >= 3,
+            "expected >= 3 distinct codes, got {codes:?}"
+        );
+        assert!(codes.contains(&"CAHD-Q001"), "{codes:?}");
+        assert!(codes.contains(&"CAHD-C002"), "{codes:?}");
+    }
+
+    #[test]
+    fn config_pass_flags_degenerate_p() {
+        let (data, sens, pub_) = setup();
+        let report = run(&data, &sens, &pub_, 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "CAHD-A001" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn feasibility_pass_flags_overloaded_item() {
+        let (data, sens, pub_) = setup();
+        // p = 4 over 6 transactions: support(4) = 1, 1*4 <= 6 is fine, but
+        // 2p > n triggers the A001 warning; force an F001 by raising p to 7.
+        let report = run(&data, &sens, &pub_, 7);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "CAHD-F001" && d.severity == Severity::Error),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn privacy_pass_flags_undersized_groups() {
+        let (data, sens, pub_) = setup();
+        let report = run(&data, &sens, &pub_, 3);
+        // A degree-2 release checked against p = 3 must violate P001
+        // somewhere (a group of 2 with one sensitive occurrence).
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "CAHD-P001"),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn band_pass_flags_scrambled_grouping() {
+        // Two tight QID blocks; grouping across blocks has zero overlap
+        // while sequential grouping keeps the blocks together.
+        let data = TransactionSet::from_rows(&[vec![0, 1], vec![0, 1], vec![4, 5], vec![4, 5]], 6);
+        let sens = SensitiveSet::new(vec![3], 6);
+        let scrambled = PublishedDataset {
+            n_items: 6,
+            sensitive_items: vec![3],
+            groups: vec![
+                AnonymizedGroup::from_members(&data, &sens, &[0, 2]),
+                AnonymizedGroup::from_members(&data, &sens, &[1, 3]),
+            ],
+        };
+        let report = run(&data, &sens, &scrambled, 2);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "CAHD-B001" && d.severity == Severity::Warning),
+            "{}",
+            report.render_human()
+        );
+        // Warnings alone do not fail the check.
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn custom_registry_runs_selected_passes_only() {
+        let (data, sens, mut pub_) = setup();
+        pub_.groups[0].qid_rows[0] = vec![3];
+        let registry = Registry::new().register(PrivacyDegree);
+        let report = registry.run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &pub_,
+            p: 2,
+        });
+        // The QID tampering is invisible to the privacy pass.
+        assert!(report.is_clean());
+        assert_eq!(report.passes_run, vec!["privacy-degree"]);
+    }
+
+    #[test]
+    fn pass_metadata_is_consistent() {
+        let registry = default_registry();
+        for pass in registry.passes() {
+            assert!(!pass.name().is_empty());
+            assert!(!pass.codes().is_empty());
+            assert!(!pass.description().is_empty());
+            for code in pass.codes() {
+                assert!(code.starts_with("CAHD-"), "{code}");
+            }
+        }
+    }
+}

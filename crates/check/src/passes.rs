@@ -1,0 +1,326 @@
+//! The built-in analysis passes and their diagnostic codes.
+
+use cahd_core::refine::intra_group_overlap;
+use cahd_core::verify::{verify_all, VerificationError};
+use cahd_core::AnonymizedGroup;
+
+use crate::diagnostic::Diagnostic;
+use crate::CheckInput;
+
+/// One composable analysis over a release. Passes are independent: each
+/// re-derives what it needs from the input and reports *all* findings, so
+/// a registry run surfaces every problem in one shot instead of failing
+/// fast on the first.
+pub trait Pass {
+    /// Short stable pass name (used in reports and pass selection).
+    fn name(&self) -> &'static str;
+
+    /// The diagnostic codes this pass can emit.
+    fn codes(&self) -> &'static [&'static str];
+
+    /// One-line description of what the pass checks.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Maps a core verification error to its stable diagnostic code.
+fn diagnose(err: &VerificationError) -> Diagnostic {
+    match *err {
+        VerificationError::Coverage {
+            transaction,
+            times_seen,
+        } => Diagnostic::error(
+            "CAHD-C001",
+            format!("transaction {transaction} appears in {times_seen} groups (expected 1)"),
+        ),
+        VerificationError::MemberOutOfRange {
+            group,
+            transaction,
+            n_transactions,
+        } => Diagnostic::error(
+            "CAHD-C002",
+            format!(
+                "member references transaction {transaction}, but the data has only {n_transactions}"
+            ),
+        )
+        .in_group(group),
+        VerificationError::Cardinality { expected, actual } => Diagnostic::error(
+            "CAHD-C003",
+            format!("release publishes {actual} transactions, the data has {expected}"),
+        ),
+        VerificationError::QidMismatch { group, member } => {
+            Diagnostic::error("CAHD-Q001", "published QID row differs from the original transaction")
+                .at_member(group, member)
+        }
+        VerificationError::SensitiveCountMismatch { group } => Diagnostic::error(
+            "CAHD-S001",
+            "sensitive summary does not match the group's members",
+        )
+        .in_group(group),
+        VerificationError::SensitiveItemsMismatch => Diagnostic::error(
+            "CAHD-S002",
+            "release's sensitive-item list differs from the sensitive set",
+        ),
+        VerificationError::PrivacyViolation {
+            group,
+            degree,
+            required,
+        } => {
+            let actual = degree.map_or("unbounded".to_string(), |d| d.to_string());
+            Diagnostic::error(
+                "CAHD-P001",
+                format!("privacy degree {actual} below required {required}"),
+            )
+            .in_group(group)
+        }
+    }
+}
+
+/// Runs the core collect-all verifier and keeps the findings whose code is
+/// in `codes` — the shared engine behind the conformance passes.
+fn conformance(input: &CheckInput<'_>, codes: &[&str], out: &mut Vec<Diagnostic>) {
+    for err in verify_all(input.data, input.sensitive, input.published, input.p) {
+        let d = diagnose(&err);
+        if codes.contains(&d.code) {
+            out.push(d);
+        }
+    }
+}
+
+/// `CAHD-A001`: parameter sanity (privacy degree vs. dataset size).
+pub struct ConfigSanity;
+
+impl Pass for ConfigSanity {
+    fn name(&self) -> &'static str {
+        "config-sanity"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-A001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "privacy degree and sensitive-set parameters are usable"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        let n = input.data.n_transactions();
+        let p = input.p;
+        if p < 2 {
+            out.push(Diagnostic::error(
+                "CAHD-A001",
+                format!("privacy degree p = {p} offers no protection (need p >= 2)"),
+            ));
+        } else if p > n {
+            // No group of size >= p can exist; that is fatal exactly when
+            // something sensitive needs protecting (a small final streaming
+            // chunk with no sensitive occurrences is legitimately fine).
+            let message = format!("privacy degree p = {p} exceeds the dataset size {n}");
+            let occurs = input
+                .sensitive
+                .occurrence_counts(input.data)
+                .iter()
+                .any(|&c| c > 0);
+            out.push(if occurs {
+                Diagnostic::error("CAHD-A001", message)
+            } else {
+                Diagnostic::warning("CAHD-A001", message)
+            });
+        } else if 2 * p > n {
+            out.push(Diagnostic::warning(
+                "CAHD-A001",
+                format!("privacy degree p = {p} allows at most one group over {n} transactions"),
+            ));
+        }
+        if input.sensitive.is_empty() {
+            out.push(Diagnostic::note(
+                "CAHD-A001",
+                "sensitive set is empty: the release is trivially private",
+            ));
+        }
+    }
+}
+
+/// `CAHD-F001`: remaining-occurrence histogram feasibility
+/// (`support(s) * p <= n` for every sensitive item `s`).
+pub struct Feasibility;
+
+impl Pass for Feasibility {
+    fn name(&self) -> &'static str {
+        "feasibility"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-F001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "a degree-p solution exists: support(s) * p <= n for all sensitive s"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        let n = input.data.n_transactions();
+        let counts = input.sensitive.occurrence_counts(input.data);
+        for (r, &c) in counts.iter().enumerate() {
+            let item = input.sensitive.items()[r];
+            if c * input.p > n {
+                out.push(Diagnostic::error(
+                    "CAHD-F001",
+                    format!(
+                        "sensitive item {item} has support {c}: {c} * {p} > {n}, degree {p} is infeasible",
+                        p = input.p
+                    ),
+                ));
+            } else if c == 0 {
+                out.push(Diagnostic::note(
+                    "CAHD-F001",
+                    format!("sensitive item {item} never occurs in the data"),
+                ));
+            }
+        }
+    }
+}
+
+/// `CAHD-C001`–`CAHD-C003`: coverage — every transaction published exactly
+/// once, no dangling member references, matching cardinality.
+pub struct Coverage;
+
+impl Pass for Coverage {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-C001", "CAHD-C002", "CAHD-C003"]
+    }
+
+    fn description(&self) -> &'static str {
+        "every transaction appears in exactly one group"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        conformance(input, self.codes(), out);
+    }
+}
+
+/// `CAHD-Q001`: QID fidelity — published QID rows are the members'
+/// original QID item sets, verbatim.
+pub struct QidFidelity;
+
+impl Pass for QidFidelity {
+    fn name(&self) -> &'static str {
+        "qid-fidelity"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-Q001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "published QID rows match the original transactions"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        conformance(input, self.codes(), out);
+    }
+}
+
+/// `CAHD-S001`/`CAHD-S002`: sensitive summaries — per-group frequency
+/// summaries recompute from the members, and the release names the right
+/// sensitive items.
+pub struct SensitiveSummary;
+
+impl Pass for SensitiveSummary {
+    fn name(&self) -> &'static str {
+        "sensitive-summary"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-S001", "CAHD-S002"]
+    }
+
+    fn description(&self) -> &'static str {
+        "sensitive frequency summaries match the group members"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        conformance(input, self.codes(), out);
+    }
+}
+
+/// `CAHD-P001`: the privacy degree — every group satisfies
+/// `f_s * p <= |G|`.
+pub struct PrivacyDegree;
+
+impl Pass for PrivacyDegree {
+    fn name(&self) -> &'static str {
+        "privacy-degree"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-P001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "every group satisfies the required privacy degree"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        conformance(input, self.codes(), out);
+    }
+}
+
+/// `CAHD-B001`: band quality — the release's intra-group QID overlap (the
+/// objective CAHD maximizes via the RCM band ordering) should not fall
+/// below what naive sequential chunking of the *original* order achieves.
+/// A regression signals the band ordering was ignored or scrambled.
+pub struct BandQuality;
+
+impl Pass for BandQuality {
+    fn name(&self) -> &'static str {
+        "band-quality"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-B001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "intra-group QID overlap is no worse than naive sequential grouping"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        if input.p < 2 {
+            return; // degenerate; ConfigSanity reports it
+        }
+        let n = input.data.n_transactions();
+        if n == 0 || input.published.n_transactions() != n {
+            return; // Coverage reports cardinality problems
+        }
+        let achieved = intra_group_overlap(input.published);
+        // Baseline: chunk the original order into groups of p. This ignores
+        // privacy entirely — it is only an overlap yardstick.
+        let members: Vec<u32> = (0..n as u32).collect();
+        let baseline_groups: Vec<AnonymizedGroup> = members
+            .chunks(input.p)
+            .map(|chunk| AnonymizedGroup::from_members(input.data, input.sensitive, chunk))
+            .collect();
+        let baseline_release = cahd_core::PublishedDataset {
+            n_items: input.data.n_items(),
+            sensitive_items: input.sensitive.items().to_vec(),
+            groups: baseline_groups,
+        };
+        let baseline = intra_group_overlap(&baseline_release);
+        if achieved < baseline {
+            out.push(Diagnostic::warning(
+                "CAHD-B001",
+                format!(
+                    "intra-group QID overlap {achieved} is below the sequential-grouping baseline \
+                     {baseline}: the band ordering was not exploited"
+                ),
+            ));
+        }
+    }
+}

@@ -105,13 +105,22 @@ mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|x| x.to_string()).collect()
+        s.iter().map(std::string::ToString::to_string).collect()
     }
 
     const SPEC: &[FlagSpec] = &[
-        FlagSpec { name: "p", takes_value: true },
-        FlagSpec { name: "strip", takes_value: false },
-        FlagSpec { name: "sensitive", takes_value: true },
+        FlagSpec {
+            name: "p",
+            takes_value: true,
+        },
+        FlagSpec {
+            name: "strip",
+            takes_value: false,
+        },
+        FlagSpec {
+            name: "sensitive",
+            takes_value: true,
+        },
     ];
 
     #[test]

@@ -10,7 +10,9 @@ use cahd_core::diversity::privacy_report;
 use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
 use cahd_core::weighted::{anonymize_weighted, verify_weighted, WeightedSimilarity};
 use cahd_core::{verify_published, CahdConfig, PublishedDataset};
-use cahd_data::{io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet};
+use cahd_data::{
+    io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
+};
 use cahd_eval::{evaluate_workload, generate_workload_seeded, reidentification_probability};
 
 use crate::args::{Args, FlagSpec};
@@ -24,14 +26,38 @@ pub fn stats(args: &Args) -> Result<String, CliError> {
 
 /// Flags accepted by [`generate`].
 pub const GENERATE_FLAGS: &[FlagSpec] = &[
-    FlagSpec { name: "out", takes_value: true },
-    FlagSpec { name: "scale", takes_value: true },
-    FlagSpec { name: "seed", takes_value: true },
-    FlagSpec { name: "transactions", takes_value: true },
-    FlagSpec { name: "items", takes_value: true },
-    FlagSpec { name: "avg-len", takes_value: true },
-    FlagSpec { name: "patterns", takes_value: true },
-    FlagSpec { name: "correlation", takes_value: true },
+    FlagSpec {
+        name: "out",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "scale",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "transactions",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "items",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "avg-len",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "patterns",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "correlation",
+        takes_value: true,
+    },
 ];
 
 /// `generate {bms1|bms2|quest} --out file.dat [...]`: synthesize data.
@@ -73,10 +99,22 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
 
 /// Flags accepted by [`audit`].
 pub const AUDIT_FLAGS: &[FlagSpec] = &[
-    FlagSpec { name: "max-k", takes_value: true },
-    FlagSpec { name: "trials", takes_value: true },
-    FlagSpec { name: "seed", takes_value: true },
-    FlagSpec { name: "release", takes_value: true },
+    FlagSpec {
+        name: "max-k",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "trials",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "release",
+        takes_value: true,
+    },
 ];
 
 /// `audit <data.dat>`: re-identification risk per number of known items.
@@ -105,7 +143,12 @@ pub fn audit(args: &Args) -> Result<String, CliError> {
             let raw = cahd_eval::attack_raw(&data, &sensitive, k, trials.min(2_000), &mut rng);
             let mut rng = StdRng::seed_from_u64(seed ^ (100 + k as u64));
             let rel = cahd_eval::attack_published(
-                &data, &sensitive, &release, k, trials.min(2_000), &mut rng,
+                &data,
+                &sensitive,
+                &release,
+                k,
+                trials.min(2_000),
+                &mut rng,
             );
             match (raw, rel) {
                 (Some(raw), Some(rel)) => out.push_str(&format!(
@@ -121,25 +164,62 @@ pub fn audit(args: &Args) -> Result<String, CliError> {
 
 /// Flags accepted by [`anonymize`].
 pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
-    FlagSpec { name: "weighted", takes_value: false },
-    FlagSpec { name: "p", takes_value: true },
-    FlagSpec { name: "sensitive", takes_value: true },
-    FlagSpec { name: "random-m", takes_value: true },
-    FlagSpec { name: "method", takes_value: true },
-    FlagSpec { name: "alpha", takes_value: true },
-    FlagSpec { name: "no-rcm", takes_value: false },
-    FlagSpec { name: "refine", takes_value: false },
-    FlagSpec { name: "strip-members", takes_value: false },
-    FlagSpec { name: "out", takes_value: true },
-    FlagSpec { name: "seed", takes_value: true },
+    FlagSpec {
+        name: "weighted",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "p",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "sensitive",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "random-m",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "method",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "alpha",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "no-rcm",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "refine",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "strip-members",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "out",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
 ];
 
 /// `anonymize <data.dat> --p P ...`: produce a release (JSON on disk or a
 /// summary on stdout).
 pub fn anonymize(args: &Args) -> Result<String, CliError> {
-    let p: usize = args
-        .parse_or("p", 0)
-        .and_then(|p: usize| if p == 0 { Err(CliError::Usage("--p <degree> is required".into())) } else { Ok(p) })?;
+    let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
+        if p == 0 {
+            Err(CliError::Usage("--p <degree> is required".into()))
+        } else {
+            Ok(p)
+        }
+    })?;
     let seed: u64 = args.parse_or("seed", 42)?;
     if args.has("weighted") {
         return anonymize_weighted_cmd(args, p, seed);
@@ -178,9 +258,8 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
     } else {
         published
     };
-    let mut out = format!(
-        "method {method}, p {p}: {n_groups} groups, privacy degree {degree:?}, verified\n"
-    );
+    let mut out =
+        format!("method {method}, p {p}: {n_groups} groups, privacy degree {degree:?}, verified\n");
     if let Some(path) = args.value("out") {
         std::fs::write(path, serde_json::to_string(&to_write)?)?;
         out.push_str(&format!("release written to {path}\n"));
@@ -230,21 +309,36 @@ pub fn report(args: &Args) -> Result<String, CliError> {
     let r = privacy_report(&release);
     let mut out = String::new();
     out.push_str(&format!("groups:                     {}\n", r.groups));
-    out.push_str(&format!("groups with sensitive item: {}\n", r.sensitive_groups));
-    out.push_str(&format!("group sizes:                {}..{}\n", r.min_group_size, r.max_group_size));
-    out.push_str(&format!("min privacy degree:         {:?}\n", r.min_privacy_degree));
+    out.push_str(&format!(
+        "groups with sensitive item: {}\n",
+        r.sensitive_groups
+    ));
+    out.push_str(&format!(
+        "group sizes:                {}..{}\n",
+        r.min_group_size, r.max_group_size
+    ));
+    out.push_str(&format!(
+        "min privacy degree:         {:?}\n",
+        r.min_privacy_degree
+    ));
     out.push_str(&format!(
         "max association probability: {:.4}\n",
         r.max_association_probability
     ));
     if r.sensitive_groups > 0 {
-        out.push_str(&format!("min effective entropy-l:    {:.2}\n", r.min_effective_l));
+        out.push_str(&format!(
+            "min effective entropy-l:    {:.2}\n",
+            r.min_effective_l
+        ));
     }
     Ok(out)
 }
 
 /// Flags accepted by [`verify`].
-pub const VERIFY_FLAGS: &[FlagSpec] = &[FlagSpec { name: "p", takes_value: true }];
+pub const VERIFY_FLAGS: &[FlagSpec] = &[FlagSpec {
+    name: "p",
+    takes_value: true,
+}];
 
 /// `verify <data.dat> <release.json> --p P`: re-check a release.
 pub fn verify(args: &Args) -> Result<String, CliError> {
@@ -258,11 +352,59 @@ pub fn verify(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Flags accepted by [`check`].
+pub const CHECK_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "p",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "json",
+        takes_value: false,
+    },
+];
+
+/// `check <data.dat> <release.json> --p P [--json]`: run the full
+/// `cahd-check` pass registry and report every diagnostic (the fail-fast
+/// alternative is `verify`). Error-severity findings make the command fail
+/// after the report is printed.
+pub fn check(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    let release = load_release(args.positional(1, "release.json")?)?;
+    let p: usize = args.parse_or("p", 2)?;
+    let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+    let report = cahd_check::default_registry().run(&cahd_check::CheckInput {
+        data: &data,
+        sensitive: &sensitive,
+        published: &release,
+        p,
+    });
+    let out = if args.has("json") {
+        format!("{}\n", serde_json::to_string(&report)?)
+    } else {
+        report.render_human()
+    };
+    if report.is_clean() {
+        Ok(out)
+    } else {
+        Err(CliError::Check(out))
+    }
+}
+
 /// Flags accepted by [`evaluate`].
 pub const EVALUATE_FLAGS: &[FlagSpec] = &[
-    FlagSpec { name: "r", takes_value: true },
-    FlagSpec { name: "queries", takes_value: true },
-    FlagSpec { name: "seed", takes_value: true },
+    FlagSpec {
+        name: "r",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "queries",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
 ];
 
 /// `evaluate <data.dat> <release.json>`: reconstruction-error summary.
@@ -339,7 +481,7 @@ mod tests {
     }
 
     fn parse(spec: &[FlagSpec], argv: &[&str]) -> Args {
-        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let v: Vec<String> = argv.iter().map(std::string::ToString::to_string).collect();
         Args::parse(&v, spec).unwrap()
     }
 
@@ -348,7 +490,17 @@ mod tests {
         let f = tmp("gen.dat");
         let out = generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &f, "--transactions", "200", "--items", "50", "--seed", "1"],
+            &[
+                "quest",
+                "--out",
+                &f,
+                "--transactions",
+                "200",
+                "--items",
+                "50",
+                "--seed",
+                "1",
+            ],
         ))
         .unwrap();
         assert!(out.contains("wrote"));
@@ -363,7 +515,17 @@ mod tests {
         let rel_f = tmp("flow.json");
         generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &data_f, "--transactions", "400", "--items", "60", "--seed", "2"],
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "400",
+                "--items",
+                "60",
+                "--seed",
+                "2",
+            ],
         ))
         .unwrap();
         let out = anonymize(&parse(
@@ -385,7 +547,17 @@ mod tests {
         let data_f = tmp("refine.dat");
         generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &data_f, "--transactions", "400", "--items", "60", "--seed", "21"],
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "400",
+                "--items",
+                "60",
+                "--seed",
+                "21",
+            ],
         ))
         .unwrap();
         let out = anonymize(&parse(
@@ -402,7 +574,17 @@ mod tests {
         let data_f = tmp("methods.dat");
         generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "3"],
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--seed",
+                "3",
+            ],
         ))
         .unwrap();
         for method in ["cahd", "pm", "random"] {
@@ -424,7 +606,11 @@ mod tests {
             &["bms1", "--out", &data_f, "--scale", "0.005", "--seed", "4"],
         ))
         .unwrap();
-        let out = audit(&parse(AUDIT_FLAGS, &[&data_f, "--max-k", "2", "--trials", "500"])).unwrap();
+        let out = audit(&parse(
+            AUDIT_FLAGS,
+            &[&data_f, "--max-k", "2", "--trials", "500"],
+        ))
+        .unwrap();
         assert!(out.contains("1 ->"));
         assert!(out.contains("2 ->"));
         std::fs::remove_file(&data_f).ok();
@@ -443,11 +629,22 @@ mod tests {
         std::fs::write(&data_f, lines).unwrap();
         let out = anonymize(&parse(
             ANONYMIZE_FLAGS,
-            &[&data_f, "--weighted", "--p", "4", "--sensitive", "3", "--out", &rel_f],
+            &[
+                &data_f,
+                "--weighted",
+                "--p",
+                "4",
+                "--sensitive",
+                "3",
+                "--out",
+                &rel_f,
+            ],
         ))
         .unwrap();
         assert!(out.contains("weighted"), "{out}");
-        assert!(std::fs::read_to_string(&rel_f).unwrap().contains("qid_rows"));
+        assert!(std::fs::read_to_string(&rel_f)
+            .unwrap()
+            .contains("qid_rows"));
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
     }
@@ -458,7 +655,17 @@ mod tests {
         let rel_f = tmp("report.json");
         generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "9"],
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--seed",
+                "9",
+            ],
         ))
         .unwrap();
         anonymize(&parse(
@@ -467,9 +674,65 @@ mod tests {
         ))
         .unwrap();
         let out = report(&parse(&[], &[&rel_f])).unwrap();
-        assert!(out.contains("min privacy degree:         Some(5)")
-            || out.contains("min privacy degree:"), "{out}");
+        assert!(
+            out.contains("min privacy degree:         Some(5)")
+                || out.contains("min privacy degree:"),
+            "{out}"
+        );
         assert!(out.contains("max association probability"));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn check_clean_and_tampered() {
+        let data_f = tmp("check.dat");
+        let rel_f = tmp("check.json");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--seed",
+                "7",
+            ],
+        ))
+        .unwrap();
+        anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "4", "--random-m", "3", "--out", &rel_f],
+        ))
+        .unwrap();
+        let ok = check(&parse(CHECK_FLAGS, &[&data_f, &rel_f, "--p", "4"])).unwrap();
+        assert!(ok.contains("check: PASS"), "{ok}");
+        let json = check(&parse(
+            CHECK_FLAGS,
+            &[&data_f, &rel_f, "--p", "4", "--json"],
+        ))
+        .unwrap();
+        assert!(json.contains("\"clean\":true"), "{json}");
+
+        // Tamper with the release on disk: point a member out of range and
+        // scramble a QID row, then expect a failing check naming both codes.
+        let mut release = load_release(&rel_f).unwrap();
+        release.groups[0].members[0] = 9_999;
+        release.groups[0].qid_rows[1] = vec![0];
+        std::fs::write(&rel_f, serde_json::to_string(&release).unwrap()).unwrap();
+        let err = check(&parse(
+            CHECK_FLAGS,
+            &[&data_f, &rel_f, "--p", "4", "--json"],
+        ));
+        let Err(CliError::Check(out)) = err else {
+            panic!("expected CliError::Check, got {err:?}");
+        };
+        assert!(out.contains("\"clean\":false"), "{out}");
+        assert!(out.contains("CAHD-C002"), "{out}");
+        assert!(out.contains("CAHD-Q001"), "{out}");
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
     }
@@ -496,7 +759,17 @@ mod tests {
         let rel_f = tmp("strip.json");
         generate(&parse(
             GENERATE_FLAGS,
-            &["quest", "--out", &data_f, "--transactions", "300", "--items", "40", "--seed", "5"],
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--seed",
+                "5",
+            ],
         ))
         .unwrap();
         // Find a low-support item to declare sensitive.
@@ -508,9 +781,14 @@ mod tests {
         anonymize(&parse(
             ANONYMIZE_FLAGS,
             &[
-                &data_f, "--p", "4",
-                "--sensitive", &item.to_string(),
-                "--strip-members", "--out", &rel_f,
+                &data_f,
+                "--p",
+                "4",
+                "--sensitive",
+                &item.to_string(),
+                "--strip-members",
+                "--out",
+                &rel_f,
             ],
         ))
         .unwrap();

@@ -9,6 +9,7 @@
 //!                    [--method cahd|pm|random] [--alpha A] [--no-rcm]
 //!                    [--strip-members] [--out release.json] [--seed N]
 //! cahd-cli verify    <data.dat> <release.json> --p P
+//! cahd-cli check     <data.dat> <release.json> --p P [--json]
 //! cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
 //! ```
 //!
@@ -29,12 +30,15 @@ pub enum CliError {
     Usage(String),
     /// The operation itself failed.
     Run(String),
+    /// A `check` run completed but found error-severity diagnostics; the
+    /// payload is the full report, printed verbatim before a nonzero exit.
+    Check(String),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Run(m) => write!(f, "{m}"),
+            CliError::Usage(m) | CliError::Run(m) | CliError::Check(m) => write!(f, "{m}"),
         }
     }
 }

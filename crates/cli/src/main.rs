@@ -21,6 +21,8 @@ usage:
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>
   cahd-cli verify    <data.dat> <release.json> --p P
+  cahd-cli check     <data.dat> <release.json> --p P [--json]
+                     (all diagnostics in one run; see docs/CHECKS.md)
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
 ";
 
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
             Args::parse(rest, commands::ANONYMIZE_FLAGS).and_then(|a| commands::anonymize(&a))
         }
         "verify" => Args::parse(rest, commands::VERIFY_FLAGS).and_then(|a| commands::verify(&a)),
+        "check" => Args::parse(rest, commands::CHECK_FLAGS).and_then(|a| commands::check(&a)),
         "report" => Args::parse(rest, &[]).and_then(|a| commands::report(&a)),
         "evaluate" => {
             Args::parse(rest, commands::EVALUATE_FLAGS).and_then(|a| commands::evaluate(&a))
@@ -62,6 +65,10 @@ fn main() -> ExitCode {
         }
         Err(CliError::Run(msg)) => {
             eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Check(report)) => {
+            print!("{report}");
             ExitCode::FAILURE
         }
     }

@@ -27,6 +27,7 @@ use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
 use crate::histogram::SensitiveHistogram;
+use crate::invariant::{strict_invariant, strict_invariant_eq};
 use crate::order::OrderList;
 
 /// Configuration of the CAHD heuristic.
@@ -172,7 +173,12 @@ pub fn cahd(
         sensitive_items: sensitive.items().to_vec(),
         groups,
     };
-    debug_assert!(published.satisfies(config.p), "CAHD invariant violated");
+    strict_invariant!(published.satisfies(config.p), "CAHD invariant violated");
+    strict_invariant_eq!(
+        published.n_transactions(),
+        n,
+        "CAHD must publish every transaction exactly once"
+    );
     Ok((published, stats))
 }
 
@@ -264,7 +270,11 @@ pub(crate) fn form_groups(
                     cl.push(c);
                     taken += 1;
                 }
-                cur = if step_prev { order.prev(c) } else { order.next(c) };
+                cur = if step_prev {
+                    order.prev(c)
+                } else {
+                    order.next(c)
+                };
             }
         };
         walk(order.prev(t), true, &mut cl, &mut conflict_stamp, &order);
@@ -278,17 +288,23 @@ pub(crate) fn form_groups(
 
         // --- Score candidates by QID similarity to t. ---
         score(t, &cl, &mut scores);
-        debug_assert_eq!(scores.len(), cl.len(), "scorer must fill one score per candidate");
-        scored.clear();
-        scored.extend(
-            cl.iter()
-                .zip(&scores)
-                .map(|(&c, &s)| (s, c.abs_diff(t), c)),
+        strict_invariant_eq!(
+            scores.len(),
+            cl.len(),
+            "scorer must fill one score per candidate"
         );
+        scored.clear();
+        scored.extend(cl.iter().zip(&scores).map(|(&c, &s)| (s, c.abs_diff(t), c)));
         let proximity = config.proximity_tie_break;
         scored.sort_by(|a, b| {
             b.0.cmp(&a.0)
-                .then_with(|| if proximity { a.1.cmp(&b.1) } else { std::cmp::Ordering::Equal })
+                .then_with(|| {
+                    if proximity {
+                        a.1.cmp(&b.1)
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
                 .then_with(|| a.2.cmp(&b.2))
         });
 
@@ -308,6 +324,7 @@ pub(crate) fn form_groups(
             for &mt in &members {
                 order.remove(mt);
             }
+            strict_invariant_eq!(members.len(), p, "regular groups have size exactly p");
             groups.push(members);
             stats.groups_formed += 1;
         } else {
@@ -322,6 +339,11 @@ pub(crate) fn form_groups(
 
     // --- The leftovers become one final group. ---
     let leftover: Vec<usize> = order.iter().collect();
+    strict_invariant_eq!(
+        leftover.len(),
+        remaining,
+        "order list and histogram bookkeeping must agree"
+    );
     stats.fallback_group_size = leftover.len();
     Ok(FormedGroups {
         groups,
@@ -367,11 +389,11 @@ mod tests {
     fn fig1_data() -> (TransactionSet, SensitiveSet) {
         let data = TransactionSet::from_rows(
             &[
-                vec![0, 1, 5],    // Bob
-                vec![0, 1],       // David
-                vec![0, 1, 2],    // Ellen
-                vec![1, 3],       // Andrea
-                vec![2, 3, 4],    // Claire
+                vec![0, 1, 5], // Bob
+                vec![0, 1],    // David
+                vec![0, 1, 2], // Ellen
+                vec![1, 3],    // Andrea
+                vec![2, 3, 4], // Claire
             ],
             6,
         );
@@ -420,7 +442,14 @@ mod tests {
         let sens = SensitiveSet::new(vec![2], 3);
         // item 2 occurs twice in 3 transactions; p=2 needs 2*2 <= 3: fails.
         let err = cahd(&data, &sens, &CahdConfig::new(2)).unwrap_err();
-        assert!(matches!(err, CahdError::Infeasible { item: 2, support: 2, .. }));
+        assert!(matches!(
+            err,
+            CahdError::Infeasible {
+                item: 2,
+                support: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -83,6 +83,8 @@ mod tests {
         assert!(CahdError::InvalidPrivacyDegree(1)
             .to_string()
             .contains(">= 2"));
-        assert!(CahdError::EmptyDataset.to_string().contains("no transactions"));
+        assert!(CahdError::EmptyDataset
+            .to_string()
+            .contains("no transactions"));
     }
 }

@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 
+use crate::invariant::{strict_invariant, strict_invariant_eq};
+
 /// One anonymized group: exact QID rows plus a sensitive-item frequency
 /// summary.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,11 +33,7 @@ impl AnonymizedGroup {
     /// Builds the published form of a group directly from original
     /// transaction indices: exact QID rows plus the sensitive frequency
     /// summary. Used by the baselines and by custom grouping strategies.
-    pub fn from_members(
-        data: &TransactionSet,
-        sensitive: &SensitiveSet,
-        members: &[u32],
-    ) -> Self {
+    pub fn from_members(data: &TransactionSet, sensitive: &SensitiveSet, members: &[u32]) -> Self {
         let mut counts = vec![0u32; sensitive.len()];
         let mut qid_rows = Vec::with_capacity(members.len());
         for &mt in members {
@@ -51,6 +49,15 @@ impl AnonymizedGroup {
             .filter(|&(_, &c)| c > 0)
             .map(|(r, &c)| (sensitive.items()[r], c))
             .collect();
+        strict_invariant_eq!(
+            qid_rows.len(),
+            members.len(),
+            "one published QID row per member"
+        );
+        strict_invariant!(
+            sensitive_counts.windows(2).all(|w| w[0].0 < w[1].0),
+            "sensitive summary must be sorted by item id"
+        );
         AnonymizedGroup {
             members: members.to_vec(),
             qid_rows,

@@ -1,0 +1,38 @@
+//! Internal invariant checks, upgradeable to hard asserts.
+//!
+//! Algorithm modules assert mid-run invariants (histogram consistency,
+//! group sizes, privacy of intermediate releases) through these macros. By
+//! default they compile to `debug_assert!` — free in release builds. With
+//! the `strict-invariants` feature the checks become unconditional
+//! `assert!`s, so fuzzing, property tests and soak runs can catch invariant
+//! drift in optimized builds too.
+
+/// `assert!` under `strict-invariants`, `debug_assert!` otherwise.
+macro_rules! strict_invariant {
+    ($($arg:tt)*) => {{
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!($($arg)*);
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        {
+            debug_assert!($($arg)*);
+        }
+    }};
+}
+
+/// `assert_eq!` under `strict-invariants`, `debug_assert_eq!` otherwise.
+macro_rules! strict_invariant_eq {
+    ($($arg:tt)*) => {{
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!($($arg)*);
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        {
+            debug_assert_eq!($($arg)*);
+        }
+    }};
+}
+
+pub(crate) use {strict_invariant, strict_invariant_eq};

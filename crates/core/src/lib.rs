@@ -46,6 +46,7 @@ pub mod diversity;
 pub mod error;
 pub mod group;
 pub mod histogram;
+mod invariant;
 pub mod order;
 pub mod pipeline;
 pub mod refine;
@@ -62,5 +63,5 @@ pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult};
 pub use refine::{intra_group_overlap, refine_groups, RefineStats};
 pub use streaming::{ReleaseChunk, StreamingAnonymizer};
 pub use suppress::{enforce_feasibility, SuppressionReport};
-pub use verify::{verify_published, VerificationError};
+pub use verify::{verify_all, verify_published, VerificationError};
 pub use weighted::{cahd_weighted, verify_weighted, WeightedPublished, WeightedSimilarity};

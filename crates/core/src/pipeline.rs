@@ -161,7 +161,11 @@ mod tests {
             .unwrap();
         // The regular group has size exactly p = 2.
         if g.size() == 2 {
-            assert!(g.members.iter().all(|m| block_a.contains(m)), "{:?}", g.members);
+            assert!(
+                g.members.iter().all(|m| block_a.contains(m)),
+                "{:?}",
+                g.members
+            );
         }
     }
 

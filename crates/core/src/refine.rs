@@ -15,6 +15,7 @@
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 
 use crate::group::{AnonymizedGroup, PublishedDataset};
+use crate::invariant::strict_invariant;
 
 /// Outcome counters of a refinement pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -106,11 +107,11 @@ fn adjust_counts(
         .iter()
         .map(|&(i, c)| (i, c as i64))
         .collect();
-    let bump = |item: ItemId, delta: i64, counts: &mut Vec<(ItemId, i64)>| {
-        match counts.binary_search_by_key(&item, |&(i, _)| i) {
-            Ok(k) => counts[k].1 += delta,
-            Err(k) => counts.insert(k, (item, delta)),
-        }
+    let bump = |item: ItemId, delta: i64, counts: &mut Vec<(ItemId, i64)>| match counts
+        .binary_search_by_key(&item, |&(i, _)| i)
+    {
+        Ok(k) => counts[k].1 += delta,
+        Err(k) => counts.insert(k, (item, delta)),
     };
     for &r in out {
         bump(sensitive.items()[r], -1, &mut counts);
@@ -148,9 +149,8 @@ pub fn refine_groups(
     window: usize,
     max_sweeps: usize,
 ) -> RefineStats {
-    let member_sens = |id: u32| -> Vec<usize> {
-        sensitive.split_transaction(data.transaction(id as usize)).1
-    };
+    let member_sens =
+        |id: u32| -> Vec<usize> { sensitive.split_transaction(data.transaction(id as usize)).1 };
     let mut stats = RefineStats::default();
     for _ in 0..max_sweeps {
         stats.sweeps += 1;
@@ -169,8 +169,7 @@ pub fn refine_groups(
                         stats.swaps_tried += 1;
                         let row_a = &ga.qid_rows[a];
                         let row_b = &gb.qid_rows[b];
-                        let gain = affinity(ga, row_b, a) as i64
-                            + affinity(gb, row_a, b) as i64
+                        let gain = affinity(ga, row_b, a) as i64 + affinity(gb, row_a, b) as i64
                             - affinity(ga, row_a, a) as i64
                             - affinity(gb, row_b, b) as i64;
                         if gain <= best.map_or(0, |(g, _, _)| g) {
@@ -195,6 +194,10 @@ pub fn refine_groups(
                     gb.qid_rows[b] = row_a;
                     adjust_counts(ga, &sens_a, &sens_b, sensitive);
                     adjust_counts(gb, &sens_b, &sens_a, sensitive);
+                    strict_invariant!(
+                        ga.satisfies(p) && gb.satisfies(p),
+                        "an applied swap must preserve privacy degree p"
+                    );
                     stats.swaps_applied += 1;
                     stats.objective_gain += gain as u64;
                     improved = true;
@@ -256,10 +259,8 @@ mod tests {
         // Both sensitive transactions share item 8; putting them in one
         // group would violate p = 2 — the privacy check must block it even
         // if it improved overlap.
-        let data = TransactionSet::from_rows(
-            &[vec![0, 1, 8], vec![2, 3], vec![0, 1, 8], vec![2, 3]],
-            10,
-        );
+        let data =
+            TransactionSet::from_rows(&[vec![0, 1, 8], vec![2, 3], vec![0, 1, 8], vec![2, 3]], 10);
         let sens = SensitiveSet::new(vec![8], 10);
         let mut published = PublishedDataset {
             n_items: 10,

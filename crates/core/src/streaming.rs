@@ -21,6 +21,7 @@ use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 
 use crate::error::CahdError;
 use crate::group::PublishedDataset;
+use crate::invariant::{strict_invariant, strict_invariant_eq};
 use crate::pipeline::{Anonymizer, AnonymizerConfig};
 
 /// A released chunk: the batch's transactions (with their stream
@@ -120,9 +121,17 @@ impl StreamingAnonymizer {
                 .map(|(r, _)| self.sensitive.items()[r]);
             match offender {
                 None => {
-                    let result = Anonymizer::new(self.config)
-                        .anonymize(&data, &self.sensitive)?;
+                    let result = Anonymizer::new(self.config).anonymize(&data, &self.sensitive)?;
                     let stream_ids: Vec<u64> = self.buffer.iter().map(|&(id, _)| id).collect();
+                    strict_invariant!(
+                        result.published.satisfies(p),
+                        "a released chunk must satisfy the privacy degree"
+                    );
+                    strict_invariant_eq!(
+                        result.published.n_transactions(),
+                        stream_ids.len(),
+                        "a chunk must publish exactly the batch it covers"
+                    );
                     // Deferred transactions open the next batch.
                     self.buffer = std::mem::take(&mut self.stash);
                     return Ok(ReleaseChunk {

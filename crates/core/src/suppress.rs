@@ -19,6 +19,8 @@ use rand::{Rng, SeedableRng};
 
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 
+use crate::invariant::{strict_invariant, strict_invariant_eq};
+
 /// What [`enforce_feasibility`] removed.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SuppressionReport {
@@ -82,7 +84,7 @@ pub fn enforce_feasibility(
     }
 
     // Rebuild rows.
-    let mut rows: Vec<Vec<ItemId>> = data.iter().map(|t| t.to_vec()).collect();
+    let mut rows: Vec<Vec<ItemId>> = data.iter().map(<[u32]>::to_vec).collect();
     for (ri, &(item, _)) in to_remove.iter().enumerate() {
         let holders = inv.row(item as usize);
         for (k, &t) in holders.iter().enumerate() {
@@ -92,6 +94,18 @@ pub fn enforce_feasibility(
         }
     }
     let repaired = TransactionSet::from_rows(&rows, data.n_items());
+    strict_invariant_eq!(
+        repaired.n_transactions(),
+        n,
+        "suppression must not drop transactions"
+    );
+    strict_invariant!(
+        sensitive
+            .occurrence_counts(&repaired)
+            .iter()
+            .all(|&c| c <= budget),
+        "suppression must restore feasibility for every sensitive item"
+    );
     let report = SuppressionReport {
         suppressed: to_remove,
     };
@@ -107,13 +121,7 @@ mod tests {
     fn overloaded() -> (TransactionSet, SensitiveSet) {
         // Item 9 sensitive with support 6 of n=10: infeasible for p >= 2.
         let rows: Vec<Vec<u32>> = (0..10u32)
-            .map(|i| {
-                if i < 6 {
-                    vec![i % 3, 9]
-                } else {
-                    vec![i % 3]
-                }
-            })
+            .map(|i| if i < 6 { vec![i % 3, 9] } else { vec![i % 3] })
             .collect();
         (
             TransactionSet::from_rows(&rows, 10),

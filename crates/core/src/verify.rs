@@ -1,11 +1,14 @@
 //! Independent verification of a published dataset.
 //!
-//! [`verify_published`] re-derives every property a release must have from
-//! the original data, without trusting the algorithm that produced it:
+//! [`verify_all`] re-derives every property a release must have from the
+//! original data, without trusting the algorithm that produced it:
 //! coverage (every transaction in exactly one group), faithful QID
-//! publication, correct sensitive summaries, and the privacy degree.
-//! Both CAHD and the baselines are checked through this single gate in the
-//! test suites and the experiment harness.
+//! publication, correct sensitive summaries, and the privacy degree — and
+//! reports *every* violation it finds. [`verify_published`] is the
+//! fail-fast wrapper returning only the first violation; both CAHD and the
+//! baselines are checked through this single gate in the test suites and
+//! the experiment harness, and the `cahd-check` pass framework maps each
+//! [`VerificationError`] to a stable diagnostic code.
 
 use std::fmt;
 
@@ -22,6 +25,15 @@ pub enum VerificationError {
         transaction: usize,
         /// How many groups contain it.
         times_seen: usize,
+    },
+    /// A group references a transaction index outside the original data.
+    MemberOutOfRange {
+        /// Group index.
+        group: usize,
+        /// The out-of-range transaction index.
+        transaction: usize,
+        /// Number of transactions in the original data.
+        n_transactions: usize,
     },
     /// The number of published transactions differs from the original.
     Cardinality {
@@ -63,6 +75,14 @@ impl fmt::Display for VerificationError {
                 transaction,
                 times_seen,
             } => write!(f, "transaction {transaction} appears in {times_seen} groups"),
+            VerificationError::MemberOutOfRange {
+                group,
+                transaction,
+                n_transactions,
+            } => write!(
+                f,
+                "group {group} references transaction {transaction}, but the data has only {n_transactions}"
+            ),
             VerificationError::Cardinality { expected, actual } => {
                 write!(f, "published {actual} transactions, expected {expected}")
             }
@@ -90,41 +110,45 @@ impl fmt::Display for VerificationError {
 impl std::error::Error for VerificationError {}
 
 /// Verifies `published` against the original `data`, the sensitive set and
-/// a required privacy degree `p`. Returns the first violation found.
-pub fn verify_published(
+/// a required privacy degree `p`, collecting **every** violation instead of
+/// stopping at the first. An empty vector means the release is valid.
+pub fn verify_all(
     data: &TransactionSet,
     sensitive: &SensitiveSet,
     published: &PublishedDataset,
     p: usize,
-) -> Result<(), VerificationError> {
+) -> Vec<VerificationError> {
+    let mut errors = Vec::new();
     if published.sensitive_items != sensitive.items() {
-        return Err(VerificationError::SensitiveItemsMismatch);
+        errors.push(VerificationError::SensitiveItemsMismatch);
     }
     let n = data.n_transactions();
     if published.n_transactions() != n {
-        return Err(VerificationError::Cardinality {
+        errors.push(VerificationError::Cardinality {
             expected: n,
             actual: published.n_transactions(),
         });
     }
 
-    // Coverage.
+    // Coverage: every original transaction in exactly one group, and no
+    // group referencing a transaction outside the data.
     let mut seen = vec![0usize; n];
-    for g in &published.groups {
+    for (gi, g) in published.groups.iter().enumerate() {
         for &mt in &g.members {
             if (mt as usize) < n {
                 seen[mt as usize] += 1;
             } else {
-                return Err(VerificationError::Coverage {
+                errors.push(VerificationError::MemberOutOfRange {
+                    group: gi,
                     transaction: mt as usize,
-                    times_seen: 0,
+                    n_transactions: n,
                 });
             }
         }
     }
     for (t, &c) in seen.iter().enumerate() {
         if c != 1 {
-            return Err(VerificationError::Coverage {
+            errors.push(VerificationError::Coverage {
                 transaction: t,
                 times_seen: c,
             });
@@ -133,11 +157,18 @@ pub fn verify_published(
 
     for (gi, g) in published.groups.iter().enumerate() {
         // QID rows and sensitive counts must match the members.
+        // Out-of-range members were already reported above; skipping them
+        // here keeps the remaining checks well-defined.
         let mut counts: Vec<u32> = vec![0; sensitive.len()];
+        let mut summary_defined = true;
         for (k, &mt) in g.members.iter().enumerate() {
+            if (mt as usize) >= n {
+                summary_defined = false;
+                continue;
+            }
             let (qid, sens_ranks) = sensitive.split_transaction(data.transaction(mt as usize));
             if g.qid_rows.get(k) != Some(&qid) {
-                return Err(VerificationError::QidMismatch {
+                errors.push(VerificationError::QidMismatch {
                     group: gi,
                     member: k,
                 });
@@ -146,25 +177,40 @@ pub fn verify_published(
                 counts[r] += 1;
             }
         }
-        let expected: Vec<(u32, u32)> = counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(r, &c)| (sensitive.items()[r], c))
-            .collect();
-        if expected != g.sensitive_counts {
-            return Err(VerificationError::SensitiveCountMismatch { group: gi });
+        if summary_defined {
+            let expected: Vec<(u32, u32)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(r, &c)| (sensitive.items()[r], c))
+                .collect();
+            if expected != g.sensitive_counts {
+                errors.push(VerificationError::SensitiveCountMismatch { group: gi });
+            }
         }
         // Privacy.
         if !g.satisfies(p) {
-            return Err(VerificationError::PrivacyViolation {
+            errors.push(VerificationError::PrivacyViolation {
                 group: gi,
                 degree: g.privacy_degree(),
                 required: p,
             });
         }
     }
-    Ok(())
+    errors
+}
+
+/// Fail-fast wrapper over [`verify_all`]: returns the first violation.
+pub fn verify_published(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    published: &PublishedDataset,
+    p: usize,
+) -> Result<(), VerificationError> {
+    match verify_all(data, sensitive, published, p).into_iter().next() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -174,10 +220,8 @@ mod tests {
     use crate::group::AnonymizedGroup;
 
     fn setup() -> (TransactionSet, SensitiveSet, PublishedDataset) {
-        let data = TransactionSet::from_rows(
-            &[vec![0, 1, 4], vec![0, 1], vec![2, 3], vec![2, 3, 5]],
-            6,
-        );
+        let data =
+            TransactionSet::from_rows(&[vec![0, 1, 4], vec![0, 1], vec![2, 3], vec![2, 3, 5]], 6);
         let sens = SensitiveSet::new(vec![4, 5], 6);
         let (pub_, _) = cahd(&data, &sens, &CahdConfig::new(2)).unwrap();
         (data, sens, pub_)
@@ -209,7 +253,13 @@ mod tests {
         let (data, sens, mut pub_) = setup();
         pub_.groups[0].qid_rows[0] = vec![5];
         let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
-        assert!(matches!(err, VerificationError::QidMismatch { group: 0, member: 0 }));
+        assert!(matches!(
+            err,
+            VerificationError::QidMismatch {
+                group: 0,
+                member: 0
+            }
+        ));
     }
 
     #[test]
@@ -223,7 +273,10 @@ mod tests {
             .unwrap();
         pub_.groups[gi].sensitive_counts[0].1 += 1;
         let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
-        assert!(matches!(err, VerificationError::SensitiveCountMismatch { .. }));
+        assert!(matches!(
+            err,
+            VerificationError::SensitiveCountMismatch { .. }
+        ));
     }
 
     #[test]
@@ -244,6 +297,39 @@ mod tests {
         pub_.sensitive_items = vec![1];
         let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
         assert_eq!(err, VerificationError::SensitiveItemsMismatch);
+    }
+
+    #[test]
+    fn detects_member_out_of_range() {
+        let (data, sens, mut pub_) = setup();
+        pub_.groups[0].members[0] = 999;
+        let err = verify_published(&data, &sens, &pub_, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            VerificationError::MemberOutOfRange {
+                transaction: 999,
+                ..
+            }
+        ));
+        // Distinct from a plain coverage error: the dropped original member
+        // is *also* reported, as uncovered.
+        let all = verify_all(&data, &sens, &pub_, 2);
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, VerificationError::Coverage { times_seen: 0, .. })));
+    }
+
+    #[test]
+    fn verify_all_collects_multiple_violations() {
+        let (data, sens, mut pub_) = setup();
+        pub_.sensitive_items = vec![1];
+        pub_.groups[0].qid_rows[0] = vec![5];
+        let all = verify_all(&data, &sens, &pub_, 2);
+        assert!(all.len() >= 2, "expected several violations, got {all:?}");
+        assert!(all.contains(&VerificationError::SensitiveItemsMismatch));
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, VerificationError::QidMismatch { .. })));
     }
 
     #[test]

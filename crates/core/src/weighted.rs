@@ -24,6 +24,8 @@ use cahd_data::{ItemId, SensitiveSet, WeightedTransactionSet};
 
 use crate::cahd::{form_groups, CahdConfig, CahdStats};
 use crate::error::CahdError;
+use crate::group::{AnonymizedGroup, PublishedDataset};
+use crate::invariant::strict_invariant;
 
 /// How candidate similarity is computed from counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -57,7 +59,9 @@ impl WeightedGroup {
     /// Whether the group satisfies privacy degree `p`.
     pub fn satisfies(&self, p: usize) -> bool {
         let g = self.size();
-        self.sensitive_counts.iter().all(|&(_, f)| (f as usize) * p <= g)
+        self.sensitive_counts
+            .iter()
+            .all(|&(_, f)| (f as usize) * p <= g)
     }
 }
 
@@ -81,6 +85,31 @@ impl WeightedPublished {
     /// Whether every group satisfies degree `p`.
     pub fn satisfies(&self, p: usize) -> bool {
         self.groups.iter().all(|g| g.satisfies(p))
+    }
+
+    /// Projects the release onto the binary model: QID rows keep their
+    /// items and drop the counts. The sensitive summaries are already
+    /// presence frequencies, so the result is a valid release of
+    /// `data.to_binary()` and can be fed to the binary verifier and the
+    /// `cahd-check` pass registry.
+    pub fn to_binary(&self) -> PublishedDataset {
+        PublishedDataset {
+            n_items: self.n_items,
+            sensitive_items: self.sensitive_items.clone(),
+            groups: self
+                .groups
+                .iter()
+                .map(|g| AnonymizedGroup {
+                    members: g.members.clone(),
+                    qid_rows: g
+                        .qid_rows
+                        .iter()
+                        .map(|row| row.iter().map(|&(item, _)| item).collect())
+                        .collect(),
+                    sensitive_counts: g.sensitive_counts.clone(),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -178,7 +207,10 @@ pub fn cahd_weighted(
         sensitive_items: sensitive.items().to_vec(),
         groups,
     };
-    debug_assert!(published.satisfies(config.p));
+    strict_invariant!(
+        published.satisfies(config.p),
+        "weighted CAHD invariant violated"
+    );
     Ok((published, stats))
 }
 
@@ -303,9 +335,13 @@ mod tests {
     #[test]
     fn weighted_release_verifies() {
         let (data, sens) = ratings();
-        let (pub_, stats) =
-            cahd_weighted(&data, &sens, &CahdConfig::new(2), WeightedSimilarity::MinCount)
-                .unwrap();
+        let (pub_, stats) = cahd_weighted(
+            &data,
+            &sens,
+            &CahdConfig::new(2),
+            WeightedSimilarity::MinCount,
+        )
+        .unwrap();
         verify_weighted(&data, &sens, &pub_, 2).unwrap();
         assert!(stats.groups_formed >= 2);
         assert_eq!(pub_.n_transactions(), 6);
@@ -317,9 +353,13 @@ mod tests {
         // (score 8); candidate 2 shares items but with count 1 each
         // (score 2). MinCount must pick candidate 1.
         let (data, sens) = ratings();
-        let (pub_, _) =
-            cahd_weighted(&data, &sens, &CahdConfig::new(2), WeightedSimilarity::MinCount)
-                .unwrap();
+        let (pub_, _) = cahd_weighted(
+            &data,
+            &sens,
+            &CahdConfig::new(2),
+            WeightedSimilarity::MinCount,
+        )
+        .unwrap();
         let g0 = &pub_.groups[0];
         assert_eq!(g0.members, vec![0, 1]);
         assert_eq!(g0.qid_rows[0], vec![(0, 5), (1, 3)]);
@@ -335,8 +375,7 @@ mod tests {
             WeightedSimilarity::PresenceOverlap,
         )
         .unwrap();
-        let (bpub, _) =
-            crate::cahd::cahd(&data.to_binary(), &sens, &CahdConfig::new(2)).unwrap();
+        let (bpub, _) = crate::cahd::cahd(&data.to_binary(), &sens, &CahdConfig::new(2)).unwrap();
         let wm: Vec<Vec<u32>> = wpub.groups.iter().map(|g| g.members.clone()).collect();
         let bm: Vec<Vec<u32>> = bpub.groups.iter().map(|g| g.members.clone()).collect();
         assert_eq!(wm, bm, "presence scorer must reproduce binary grouping");
@@ -349,8 +388,7 @@ mod tests {
             3,
         );
         let sens = SensitiveSet::new(vec![2], 3);
-        let err = cahd_weighted(&data, &sens, &CahdConfig::new(2), Default::default())
-            .unwrap_err();
+        let err = cahd_weighted(&data, &sens, &CahdConfig::new(2), Default::default()).unwrap_err();
         assert!(matches!(err, CahdError::Infeasible { item: 2, .. }));
     }
 
@@ -365,6 +403,14 @@ mod tests {
             err,
             crate::verify::VerificationError::QidMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn binary_projection_verifies() {
+        let (data, sens) = ratings();
+        let (pub_, _) =
+            cahd_weighted(&data, &sens, &CahdConfig::new(2), Default::default()).unwrap();
+        crate::verify::verify_published(&data.to_binary(), &sens, &pub_.to_binary(), 2).unwrap();
     }
 
     #[test]

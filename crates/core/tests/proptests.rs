@@ -1,8 +1,8 @@
 //! Property-based tests: CAHD must uphold its invariants on arbitrary
 //! (feasible) inputs.
 
-use cahd_core::{cahd, verify_published, CahdConfig, CahdError};
 use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+use cahd_core::{cahd, verify_published, CahdConfig, CahdError};
 use cahd_data::{SensitiveSet, TransactionSet};
 use proptest::prelude::*;
 
@@ -10,10 +10,7 @@ use proptest::prelude::*;
 fn arb_instance() -> impl Strategy<Value = (TransactionSet, SensitiveSet, usize)> {
     (10usize..60, 5usize..15, 2usize..5).prop_flat_map(|(n, d, p)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(0..d as u32, 1..6),
-                n..=n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0..d as u32, 1..6), n..=n),
             proptest::collection::btree_set(0..d as u32, 1..3),
             Just(d),
             Just(p),
@@ -161,6 +158,83 @@ proptest! {
                 prop_assert!(!seen[id as usize], "stream id {} twice", id);
                 seen[id as usize] = true;
             }
+        }
+    }
+
+    #[test]
+    fn releases_are_diagnostics_clean((data, sens, p) in arb_instance()) {
+        // Every release the crate can produce — batch, weighted, streaming —
+        // must yield zero error-severity diagnostics from the full
+        // `cahd-check` pass registry, not just pass the fail-fast verifier.
+        use cahd_check::{default_registry, CheckInput};
+        use cahd_core::weighted::{cahd_weighted, WeightedSimilarity};
+        use cahd_core::StreamingAnonymizer;
+        use cahd_data::WeightedTransactionSet;
+        let counts = sens.occurrence_counts(&data);
+        prop_assume!(counts.iter().all(|&c| c * p <= data.n_transactions()));
+        let registry = default_registry();
+        macro_rules! assert_clean {
+            ($data:expr, $published:expr, $what:expr) => {{
+                let report = registry.run(&CheckInput {
+                    data: $data,
+                    sensitive: &sens,
+                    published: $published,
+                    p,
+                });
+                prop_assert!(report.is_clean(), "{}:\n{}", $what, report.render_human());
+            }};
+        }
+
+        // Batch pipeline.
+        let res = Anonymizer::new(AnonymizerConfig::with_privacy_degree(p))
+            .anonymize(&data, &sens)
+            .unwrap();
+        assert_clean!(&data, &res.published, "batch");
+
+        // Weighted pipeline, checked through its binary projection.
+        let rows: Vec<Vec<(u32, u32)>> = data
+            .iter()
+            .map(|t| t.iter().map(|&i| (i, 1)).collect())
+            .collect();
+        let wdata = WeightedTransactionSet::from_rows(&rows, data.n_items());
+        let (wpub, _) = cahd_weighted(
+            &wdata,
+            &sens,
+            &CahdConfig::new(p),
+            WeightedSimilarity::MinCount,
+        )
+        .unwrap();
+        assert_clean!(&wdata.to_binary(), &wpub.to_binary(), "weighted");
+
+        // Streaming pipeline: each released chunk is a self-contained
+        // release over the chunk's own transactions.
+        let mut s = StreamingAnonymizer::new(
+            AnonymizerConfig::with_privacy_degree(p),
+            sens.clone(),
+            (2 * p).max(8),
+        );
+        let mut chunks = Vec::new();
+        let mut ok = true;
+        for t in 0..data.n_transactions() {
+            match s.push(data.transaction(t).to_vec()) {
+                Ok(Some(c)) => chunks.push(c),
+                Ok(None) => {}
+                Err(_) => { ok = false; break; }
+            }
+        }
+        if ok {
+            if let Ok(Some(c)) = s.finish() {
+                chunks.push(c);
+            }
+        }
+        for (i, c) in chunks.iter().enumerate() {
+            let rows: Vec<Vec<u32>> = c
+                .stream_ids
+                .iter()
+                .map(|&id| data.transaction(id as usize).to_vec())
+                .collect();
+            let chunk_data = TransactionSet::from_rows(&rows, data.n_items());
+            assert_clean!(&chunk_data, &c.published, format!("stream chunk {i}"));
         }
     }
 

@@ -37,7 +37,7 @@ pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<Tra
         }
         rows.push(row);
     }
-    let inferred = if rows.iter().all(|r| r.is_empty()) {
+    let inferred = if rows.iter().all(std::vec::Vec::is_empty) {
         0
     } else {
         max_id as usize + 1
@@ -47,7 +47,10 @@ pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<Tra
 }
 
 /// Reads a `.dat` basket file from disk.
-pub fn read_dat_file<P: AsRef<Path>>(path: P, n_items: Option<usize>) -> io::Result<TransactionSet> {
+pub fn read_dat_file<P: AsRef<Path>>(
+    path: P,
+    n_items: Option<usize>,
+) -> io::Result<TransactionSet> {
     read_dat(BufReader::new(File::open(path)?), n_items)
 }
 

@@ -237,8 +237,8 @@ impl QuestGenerator {
         let mut cum = Vec::with_capacity(cfg.n_patterns);
         let mut total = 0.0f64;
         for i in 0..cfg.n_patterns {
-            let len = (poisson(&mut self.rng, cfg.avg_pattern_len - 1.0) as usize + 1)
-                .min(cfg.n_items);
+            let len =
+                (poisson(&mut self.rng, cfg.avg_pattern_len - 1.0) as usize + 1).min(cfg.n_items);
             let mut items: Vec<ItemId> = Vec::with_capacity(len);
             if i > 0 && cfg.correlation > 0.0 {
                 let prev = &patterns[i - 1].items;
@@ -256,8 +256,8 @@ impl QuestGenerator {
                     items.push(it);
                 }
             }
-            let corruption = normal(&mut self.rng, cfg.corruption_mean, cfg.corruption_sd)
-                .clamp(0.0, 1.0);
+            let corruption =
+                normal(&mut self.rng, cfg.corruption_mean, cfg.corruption_sd).clamp(0.0, 1.0);
             let weight = exponential1(&mut self.rng);
             total += weight;
             cum.push(total);

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn iter_matches_rows() {
         let t = sample();
-        let lens: Vec<usize> = t.iter().map(|r| r.len()).collect();
+        let lens: Vec<usize> = t.iter().map(<[u32]>::len).collect();
         assert_eq!(lens, vec![2, 2, 0]);
     }
 }

@@ -30,7 +30,10 @@ pub fn sample_transactions<R: Rng + ?Sized>(
     }
     idx.truncate(k);
     idx.sort_unstable();
-    let rows: Vec<Vec<ItemId>> = idx.iter().map(|&t| data.transaction(t as usize).to_vec()).collect();
+    let rows: Vec<Vec<ItemId>> = idx
+        .iter()
+        .map(|&t| data.transaction(t as usize).to_vec())
+        .collect();
     (TransactionSet::from_rows(&rows, data.n_items()), idx)
 }
 
@@ -105,7 +108,7 @@ pub fn concat(parts: &[&TransactionSet]) -> TransactionSet {
     let mut rows = Vec::new();
     for part in parts {
         assert_eq!(part.n_items(), d, "item universes must match");
-        rows.extend(part.iter().map(|t| t.to_vec()));
+        rows.extend(part.iter().map(<[u32]>::to_vec));
     }
     TransactionSet::from_rows(&rows, d)
 }
@@ -118,7 +121,9 @@ mod tests {
 
     fn data() -> TransactionSet {
         TransactionSet::from_rows(
-            &(0..20u32).map(|i| vec![i % 5, 5 + i % 3]).collect::<Vec<_>>(),
+            &(0..20u32)
+                .map(|i| vec![i % 5, 5 + i % 3])
+                .collect::<Vec<_>>(),
             10,
         )
     }

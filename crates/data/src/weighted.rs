@@ -81,7 +81,10 @@ impl WeightedTransactionSet {
 
     /// `(item, count)` pairs of transaction `t`.
     pub fn transaction(&self, t: usize) -> impl ExactSizeIterator<Item = (ItemId, u32)> + '_ {
-        self.items(t).iter().copied().zip(self.counts(t).iter().copied())
+        self.items(t)
+            .iter()
+            .copied()
+            .zip(self.counts(t).iter().copied())
     }
 
     /// The count of `item` in transaction `t` (0 if absent).
@@ -126,7 +129,10 @@ impl WeightedTransactionSet {
 /// Reads the weighted `.wdat` format: one transaction per line of
 /// whitespace-separated `item:count` tokens (bare `item` means count 1).
 /// Empty lines and `#` comments are skipped.
-pub fn read_wdat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<WeightedTransactionSet> {
+pub fn read_wdat<R: BufRead>(
+    reader: R,
+    n_items: Option<usize>,
+) -> io::Result<WeightedTransactionSet> {
     let mut rows: Vec<Vec<(ItemId, u32)>> = Vec::new();
     let mut max_id: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
@@ -157,7 +163,7 @@ pub fn read_wdat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<We
         }
         rows.push(row);
     }
-    let inferred = if rows.iter().all(|r| r.is_empty()) {
+    let inferred = if rows.iter().all(std::vec::Vec::is_empty) {
         0
     } else {
         max_id as usize + 1
@@ -203,10 +209,7 @@ mod tests {
     use std::io::Cursor;
 
     fn sample() -> WeightedTransactionSet {
-        WeightedTransactionSet::from_rows(
-            &[vec![(2, 3), (0, 1)], vec![(1, 5)], vec![]],
-            4,
-        )
+        WeightedTransactionSet::from_rows(&[vec![(2, 3), (0, 1)], vec![(1, 5)], vec![]], 4)
     }
 
     #[test]

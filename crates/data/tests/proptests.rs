@@ -3,7 +3,9 @@
 
 use std::io::Cursor;
 
-use cahd_data::transform::{concat, filter_transactions, prune_rare_items, sample_transactions, train_test_split};
+use cahd_data::transform::{
+    concat, filter_transactions, prune_rare_items, sample_transactions, train_test_split,
+};
 use cahd_data::weighted::{read_wdat, write_wdat, WeightedTransactionSet};
 use cahd_data::{io, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet};
 use proptest::prelude::*;

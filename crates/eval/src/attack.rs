@@ -146,7 +146,9 @@ pub fn attack_published<R: Rng + ?Sized>(
             }
             n_candidates += b;
             for &(item, f) in &g.sensitive_counts {
-                let rank = sensitive.index_of(item).expect("published item is sensitive");
+                let rank = sensitive
+                    .index_of(item)
+                    .expect("published item is sensitive");
                 // Each of the b candidate rows carries posterior f/|G|.
                 per_item[rank] += b as f64 * f as f64 / g.size() as f64;
             }
@@ -193,7 +195,11 @@ fn sample_known<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<ItemId> {
-    let mut qid: Vec<ItemId> = txn.iter().copied().filter(|&i| !sensitive.contains(i)).collect();
+    let mut qid: Vec<ItemId> = txn
+        .iter()
+        .copied()
+        .filter(|&i| !sensitive.contains(i))
+        .collect();
     for i in 0..k {
         let j = rng.gen_range(i..qid.len());
         qid.swap(i, j);

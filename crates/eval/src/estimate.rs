@@ -79,7 +79,7 @@ mod tests {
     use cahd_core::AnonymizedGroup;
     use cahd_data::{SensitiveSet, TransactionSet};
 
-    fn release(groups: Vec<Vec<u32>>) -> (TransactionSet, PublishedDataset) {
+    fn release(groups: &[Vec<u32>]) -> (TransactionSet, PublishedDataset) {
         // 6 transactions; item 0 on the first three, sensitive item 4 on
         // transactions 0 and 3.
         let data = TransactionSet::from_rows(
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn homogeneous_groups_have_zero_variance() {
         // Groups align with the QID blocks: b = |G| or b = 0 everywhere.
-        let (_, pub_) = release(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let (_, pub_) = release(&[vec![0, 1, 2], vec![3, 4, 5]]);
         let est = estimate_count(&pub_, 4, &[0]);
         assert!((est.estimate - 1.0).abs() < 1e-12);
         assert_eq!(est.variance, 0.0);
@@ -112,10 +112,10 @@ mod tests {
     #[test]
     fn mixed_groups_have_positive_variance() {
         // One big group: N=6, K=b(item 0)=3, n=a=2.
-        let (_, pub_) = release(vec![vec![0, 1, 2, 3, 4, 5]]);
+        let (_, pub_) = release(&[vec![0, 1, 2, 3, 4, 5]]);
         let est = estimate_count(&pub_, 4, &[0]);
         assert!((est.estimate - 1.0).abs() < 1e-12); // 2*3/6
-        // var = n*(K/N)*(1-K/N)*(N-n)/(N-1) = 2*0.5*0.5*(4/5) = 0.4
+                                                     // var = n*(K/N)*(1-K/N)*(N-n)/(N-1) = 2*0.5*0.5*(4/5) = 0.4
         assert!((est.variance - 0.4).abs() < 1e-12);
         let (lo, hi) = est.interval(1.96);
         assert!(lo < 1.0 && hi > 1.0);
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn absent_item_gives_zero() {
-        let (_, pub_) = release(vec![vec![0, 1, 2, 3, 4, 5]]);
+        let (_, pub_) = release(&[vec![0, 1, 2, 3, 4, 5]]);
         let est = estimate_count(&pub_, 3, &[0]);
         assert_eq!(est.estimate, 0.0);
         assert_eq!(est.contributing_groups, 0);
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn empty_predicate_counts_occurrences() {
-        let (_, pub_) = release(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let (_, pub_) = release(&[vec![0, 1, 2], vec![3, 4, 5]]);
         let est = estimate_count(&pub_, 4, &[]);
         assert!((est.estimate - 2.0).abs() < 1e-12);
         assert_eq!(est.variance, 0.0); // b = N in every group

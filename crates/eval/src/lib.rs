@@ -35,7 +35,9 @@ pub use bootstrap::{bootstrap_mean_ci, paired_bootstrap_less, BootstrapInterval}
 pub use estimate::{estimate_count, CountEstimate};
 pub use kl::{kl_divergence, DEFAULT_SMOOTHING};
 pub use mining::{frequent_itemsets, top_k_itemsets, Itemset};
-pub use query::{generate_workload, generate_workload_seeded, GroupByQuery, QidSelection, WorkloadConfig};
+pub use query::{
+    generate_workload, generate_workload_seeded, GroupByQuery, QidSelection, WorkloadConfig,
+};
 pub use reconstruct::{actual_pdf, estimated_pdf};
 pub use reident::reidentification_probability;
 pub use rules::{confidence_error, mine_rules, published_confidence, AssociationRule};

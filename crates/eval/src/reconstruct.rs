@@ -79,11 +79,11 @@ mod tests {
         // items: 0 wine, 1 meat, 2 cream, 3 strawberries, 4 preg (S), 5 viagra (S)
         let data = TransactionSet::from_rows(
             &[
-                vec![0, 1, 5],    // Bob
-                vec![0, 1],       // David
-                vec![0, 1, 2],    // Ellen
-                vec![1, 3],       // Andrea
-                vec![2, 3, 4],    // Claire
+                vec![0, 1, 5], // Bob
+                vec![0, 1],    // David
+                vec![0, 1, 2], // Ellen
+                vec![1, 3],    // Andrea
+                vec![2, 3, 4], // Claire
             ],
             6,
         );
@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn identical_qid_groups_reconstruct_exactly() {
         // If all group members share the same cell, estimation is exact.
-        let data = TransactionSet::from_rows(
-            &[vec![0, 3], vec![0], vec![1], vec![1]],
-            4,
-        );
+        let data = TransactionSet::from_rows(&[vec![0, 3], vec![0], vec![1], vec![1]], 4);
         let sens = SensitiveSet::new(vec![3], 4);
         let pub_ = PublishedDataset {
             n_items: 4,

@@ -112,10 +112,7 @@ mod tests {
     fn unique_transactions_always_reidentified() {
         // Every transaction has a private item: knowing 1 item re-identifies
         // with probability ~ #unique-items / #items-per-txn.
-        let data = TransactionSet::from_rows(
-            &[vec![0, 9], vec![1, 9], vec![2, 9], vec![3, 9]],
-            10,
-        );
+        let data = TransactionSet::from_rows(&[vec![0, 9], vec![1, 9], vec![2, 9], vec![3, 9]], 10);
         let mut rng = StdRng::seed_from_u64(1);
         let p = reidentification_probability(&data, None, 2, 2_000, &mut rng).unwrap();
         // Knowing both items always pins the transaction (pairs are unique).

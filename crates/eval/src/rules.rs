@@ -14,7 +14,9 @@
 use cahd_core::PublishedDataset;
 use cahd_data::{ItemId, TransactionSet};
 
-use crate::mining::{estimated_sensitive_support, frequent_itemsets, itemset_support, published_qid_support};
+use crate::mining::{
+    estimated_sensitive_support, frequent_itemsets, itemset_support, published_qid_support,
+};
 
 /// An association rule `antecedent -> consequent` with its statistics on
 /// the originating dataset.
@@ -40,8 +42,10 @@ pub fn mine_rules(
 ) -> Vec<AssociationRule> {
     let sets = frequent_itemsets(data, min_support, max_len);
     // Index supports by itemset for O(1) antecedent lookup.
-    let support_of: std::collections::HashMap<&[ItemId], usize> =
-        sets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+    let support_of: std::collections::HashMap<&[ItemId], usize> = sets
+        .iter()
+        .map(|s| (s.items.as_slice(), s.support))
+        .collect();
     let mut rules = Vec::new();
     for set in &sets {
         if set.items.len() < 2 {
@@ -81,10 +85,7 @@ pub fn mine_rules(
 /// (eq. 2) over the exact antecedent support. Rules with a sensitive item
 /// in the antecedent cannot be evaluated (their antecedent support is not
 /// published); `None` is returned.
-pub fn published_confidence(
-    published: &PublishedDataset,
-    rule: &AssociationRule,
-) -> Option<f64> {
+pub fn published_confidence(published: &PublishedDataset, rule: &AssociationRule) -> Option<f64> {
     let is_sensitive = |i: ItemId| published.sensitive_items.binary_search(&i).is_ok();
     if rule.antecedent.iter().any(|&i| is_sensitive(i)) {
         return None;

@@ -68,10 +68,12 @@ pub fn workload_kls(
 ) -> Vec<Option<f64>> {
     queries
         .iter()
-        .map(|q| match (actual_pdf(data, q), estimated_pdf(published, q)) {
-            (Some(act), Some(est)) => Some(kl_divergence(&act, &est, DEFAULT_SMOOTHING)),
-            _ => None,
-        })
+        .map(
+            |q| match (actual_pdf(data, q), estimated_pdf(published, q)) {
+                (Some(act), Some(est)) => Some(kl_divergence(&act, &est, DEFAULT_SMOOTHING)),
+                _ => None,
+            },
+        )
         .collect()
 }
 
@@ -141,13 +143,15 @@ mod tests {
     use cahd_core::AnonymizedGroup;
     use cahd_data::SensitiveSet;
 
-    fn setup() -> (TransactionSet, SensitiveSet, PublishedDataset, PublishedDataset) {
+    fn setup() -> (
+        TransactionSet,
+        SensitiveSet,
+        PublishedDataset,
+        PublishedDataset,
+    ) {
         // Item 4 sensitive; cells over item 0. Transactions 0,1 contain
         // item 0; the sensitive occurrence is in transaction 0.
-        let data = TransactionSet::from_rows(
-            &[vec![0, 4], vec![0], vec![1], vec![1]],
-            5,
-        );
+        let data = TransactionSet::from_rows(&[vec![0, 4], vec![0], vec![1], vec![1]], 5);
         let sens = SensitiveSet::new(vec![4], 5);
         // Good grouping: {0,1} (same QID cell), {2,3}.
         let good = PublishedDataset {

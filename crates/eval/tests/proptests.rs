@@ -16,7 +16,11 @@ fn arb_data() -> impl Strategy<Value = TransactionSet> {
 
 /// A release over `data` formed by chunking transactions into fixed-size
 /// groups (valid coverage by construction).
-fn chunk_release(data: &TransactionSet, sensitive: &SensitiveSet, chunk: usize) -> PublishedDataset {
+fn chunk_release(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    chunk: usize,
+) -> PublishedDataset {
     let ids: Vec<u32> = (0..data.n_transactions() as u32).collect();
     PublishedDataset {
         n_items: data.n_items(),

@@ -134,9 +134,13 @@ mod tests {
             let n = 10 + trial;
             let mut edges = Vec::new();
             for _ in 0..3 * n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (x >> 33) as u32 % n as u32;
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = (x >> 33) as u32 % n as u32;
                 edges.push((u, v));
             }

@@ -245,9 +245,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 12345u64;
         for _ in 0..150 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) as u32 % n;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as u32 % n;
             edges.push((u, v));
         }

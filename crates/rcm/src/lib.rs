@@ -32,8 +32,8 @@ pub mod unsym;
 
 pub use cm::{cuthill_mckee_component, cuthill_mckee_component_linear};
 pub use gps::gibbs_poole_stockmeyer;
-pub use ordering::{lexicographic_order, minhash_order, RowOrder};
 pub use level::LevelStructure;
+pub use ordering::{lexicographic_order, minhash_order, RowOrder};
 pub use peripheral::pseudo_peripheral;
 pub use rcm::{cuthill_mckee, reverse_cuthill_mckee, reverse_cuthill_mckee_linear};
 pub use unsym::{reduce_unsymmetric, AatMethod, BandReduction, ColumnOrder, UnsymOptions};

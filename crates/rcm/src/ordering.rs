@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            RowOrder::ALL.iter().map(|o| o.name()).collect();
+        let names: std::collections::HashSet<_> = RowOrder::ALL.iter().map(|o| o.name()).collect();
         assert_eq!(names.len(), RowOrder::ALL.len());
     }
 }

@@ -103,10 +103,7 @@ mod tests {
     fn lollipop_prefers_tail_end() {
         // Clique {0,1,2} with a tail 2-3-4-5: pseudo-peripheral from inside
         // the clique should reach the tail end (eccentricity 4 from 0/1).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let (_, l) = pseudo_peripheral(&g, 2);
         assert!(l.eccentricity() >= 4);
     }

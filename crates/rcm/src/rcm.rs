@@ -80,7 +80,14 @@ pub fn reverse_cuthill_mckee_linear(g: &impl NeighborOracle) -> Permutation {
         let (root, _) = pseudo_peripheral_with_scratch(g, start as u32, &mut mark, &mut stamp);
         stamp += 1;
         let before = order.len();
-        crate::cm::cuthill_mckee_component_linear(g, root, &mut order, &mut mark, stamp, &mut scratch);
+        crate::cm::cuthill_mckee_component_linear(
+            g,
+            root,
+            &mut order,
+            &mut mark,
+            stamp,
+            &mut scratch,
+        );
         for &v in &order[before..] {
             in_order[v as usize] = true;
         }
@@ -162,7 +169,16 @@ mod tests {
         // Classic property: RCM profile <= CM profile.
         let g = Graph::from_edges(
             8,
-            &[(0, 2), (0, 5), (1, 3), (2, 6), (3, 7), (5, 6), (6, 7), (1, 4)],
+            &[
+                (0, 2),
+                (0, 5),
+                (1, 3),
+                (2, 6),
+                (3, 7),
+                (5, 6),
+                (6, 7),
+                (1, 4),
+            ],
         );
         let cm = cuthill_mckee(&g);
         let rcm = reverse_cuthill_mckee(&g);

@@ -216,7 +216,10 @@ mod tests {
             .map(|&r| red.row_perm.old_to_new(r))
             .collect();
         pos_a.sort_unstable();
-        assert!(pos_a == vec![0, 1, 2] || pos_a == vec![3, 4, 5], "{pos_a:?}");
+        assert!(
+            pos_a == vec![0, 1, 2] || pos_a == vec![3, 4, 5],
+            "{pos_a:?}"
+        );
         // Band quality must improve.
         assert!(red.after.mean_diag_distance < red.before.mean_diag_distance);
     }

@@ -1,6 +1,9 @@
 //! Property-based tests for RCM.
 
-use cahd_rcm::{cuthill_mckee, gibbs_poole_stockmeyer, reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear, UnsymOptions};
+use cahd_rcm::{
+    cuthill_mckee, gibbs_poole_stockmeyer, reduce_unsymmetric, reverse_cuthill_mckee,
+    reverse_cuthill_mckee_linear, UnsymOptions,
+};
 use cahd_sparse::bandwidth::graph_band_stats;
 use cahd_sparse::{CsrMatrix, Graph, Permutation};
 use proptest::prelude::*;

@@ -154,7 +154,7 @@ impl RowGraph {
         a.col_counts()
             .iter()
             .map(|&k| k.saturating_mul(k.saturating_sub(1)))
-            .fold(0usize, |acc, x| acc.saturating_add(x))
+            .fold(0usize, usize::saturating_add)
     }
 
     /// Builds the row graph, choosing the explicit form when the estimated
@@ -254,7 +254,11 @@ mod tests {
         let ex = RowGraph::build_explicit(&a);
         let im = ImplicitRowGraph::new(&a);
         for v in 0..a.n_rows() {
-            assert_eq!(sorted_neighbors(&ex, v), sorted_neighbors(&im, v), "vertex {v}");
+            assert_eq!(
+                sorted_neighbors(&ex, v),
+                sorted_neighbors(&im, v),
+                "vertex {v}"
+            );
             assert_eq!(NeighborOracle::degree(&ex, v), im.degree(v));
         }
     }

@@ -79,9 +79,21 @@ pub struct RectBandStats {
 ///
 /// # Panics
 /// Panics on permutation length mismatches.
-pub fn rect_band_stats(a: &CsrMatrix, row_perm: &Permutation, col_perm: &Permutation) -> RectBandStats {
-    assert_eq!(row_perm.len(), a.n_rows(), "row permutation length mismatch");
-    assert_eq!(col_perm.len(), a.n_cols(), "column permutation length mismatch");
+pub fn rect_band_stats(
+    a: &CsrMatrix,
+    row_perm: &Permutation,
+    col_perm: &Permutation,
+) -> RectBandStats {
+    assert_eq!(
+        row_perm.len(),
+        a.n_rows(),
+        "row permutation length mismatch"
+    );
+    assert_eq!(
+        col_perm.len(),
+        a.n_cols(),
+        "column permutation length mismatch"
+    );
     let n = a.n_rows().max(1) as f64;
     let d = a.n_cols().max(1) as f64;
     let scale = a.n_rows().max(a.n_cols()) as f64;

@@ -84,7 +84,11 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(indptr.len(), n_rows + 1, "indptr length mismatch");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end mismatch");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end mismatch"
+        );
         for w in indptr.windows(2) {
             assert!(w[0] <= w[1], "indptr must be non-decreasing");
         }
@@ -259,14 +263,22 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `perm.len() != n_cols`.
     pub fn permute_cols(&self, perm: &Permutation) -> CsrMatrix {
-        assert_eq!(perm.len(), self.n_cols, "column permutation length mismatch");
+        assert_eq!(
+            perm.len(),
+            self.n_cols,
+            "column permutation length mismatch"
+        );
         let mut indptr = Vec::with_capacity(self.n_rows + 1);
         let mut indices = Vec::with_capacity(self.nnz());
         indptr.push(0usize);
         let mut scratch: Vec<u32> = Vec::new();
         for r in 0..self.n_rows {
             scratch.clear();
-            scratch.extend(self.row(r).iter().map(|&c| perm.old_to_new(c as usize) as u32));
+            scratch.extend(
+                self.row(r)
+                    .iter()
+                    .map(|&c| perm.old_to_new(c as usize) as u32),
+            );
             scratch.sort_unstable();
             indices.extend_from_slice(&scratch);
             indptr.push(indices.len());
@@ -307,10 +319,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_rows(
-            &[vec![0, 2], vec![1], vec![], vec![2, 3, 0]],
-            4,
-        )
+        CsrMatrix::from_rows(&[vec![0, 2], vec![1], vec![], vec![2, 3, 0]], 4)
     }
 
     #[test]

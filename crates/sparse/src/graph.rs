@@ -85,7 +85,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The underlying adjacency pattern.

@@ -32,9 +32,20 @@ impl DensityGrid {
         grid_rows: usize,
         grid_cols: usize,
     ) -> Self {
-        assert!(grid_rows > 0 && grid_cols > 0, "grid dimensions must be positive");
-        assert_eq!(row_perm.len(), a.n_rows(), "row permutation length mismatch");
-        assert_eq!(col_perm.len(), a.n_cols(), "column permutation length mismatch");
+        assert!(
+            grid_rows > 0 && grid_cols > 0,
+            "grid dimensions must be positive"
+        );
+        assert_eq!(
+            row_perm.len(),
+            a.n_rows(),
+            "row permutation length mismatch"
+        );
+        assert_eq!(
+            col_perm.len(),
+            a.n_cols(),
+            "column permutation length mismatch"
+        );
         let mut counts = vec![0u32; grid_rows * grid_cols];
         let n = a.n_rows().max(1);
         let d = a.n_cols().max(1);
@@ -87,8 +98,7 @@ impl DensityGrid {
                 } else {
                     // log-ish scale keeps sparse structure visible
                     let frac = (v as f64).ln_1p() / (self.max_count as f64).ln_1p();
-                    1 + ((frac * (SHADES.len() - 2) as f64).round() as usize)
-                        .min(SHADES.len() - 2)
+                    1 + ((frac * (SHADES.len() - 2) as f64).round() as usize).min(SHADES.len() - 2)
                 };
                 out.push(SHADES[idx] as char);
             }
@@ -174,7 +184,13 @@ mod tests {
     #[test]
     fn empty_matrix_all_blank() {
         let a = CsrMatrix::from_rows(&[], 0);
-        let g = DensityGrid::new(&a, &Permutation::identity(0), &Permutation::identity(0), 2, 2);
+        let g = DensityGrid::new(
+            &a,
+            &Permutation::identity(0),
+            &Permutation::identity(0),
+            2,
+            2,
+        );
         assert_eq!(g.max_count(), 0);
         assert!(g.to_ascii().chars().all(|c| c == ' ' || c == '\n'));
     }

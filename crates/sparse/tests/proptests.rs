@@ -7,10 +7,7 @@ use proptest::prelude::*;
 fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
     (1usize..30).prop_flat_map(|n_cols| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(0..n_cols as u32, 0..8),
-                0..25,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0..n_cols as u32, 0..8), 0..25),
             Just(n_cols),
         )
     })

@@ -29,7 +29,11 @@ fn main() {
         println!(
             "rcm time: {:.3}s ({} A*A^T)",
             red.rcm_time.as_secs_f64(),
-            if red.used_explicit_aat { "explicit" } else { "implicit" },
+            if red.used_explicit_aat {
+                "explicit"
+            } else {
+                "implicit"
+            },
         );
 
         let id_r = Permutation::identity(data.n_transactions());
@@ -61,7 +65,8 @@ fn main() {
     let mut overlap_orig = 0usize;
     let n = data.n_transactions();
     for t in 0..n - 1 {
-        overlap_band += CsrMatrix::intersection_len(permuted.transaction(t), permuted.transaction(t + 1));
+        overlap_band +=
+            CsrMatrix::intersection_len(permuted.transaction(t), permuted.transaction(t + 1));
         overlap_orig += CsrMatrix::intersection_len(data.transaction(t), data.transaction(t + 1));
     }
     println!(

@@ -53,7 +53,10 @@ fn main() {
     // estimated with bounded error.
     let min_support = (data.n_transactions() / 200).max(3);
     let rules = mine_rules(&data, min_support, 0.3, 3);
-    println!("mined {} rules (support >= {min_support}, confidence >= 0.3)", rules.len());
+    println!(
+        "mined {} rules (support >= {min_support}, confidence >= 0.3)",
+        rules.len()
+    );
 
     let qid_rules: Vec<_> = rules
         .iter()
@@ -66,13 +69,15 @@ fn main() {
     let sens_rules: Vec<_> = rules
         .iter()
         .filter(|r| {
-            sensitive.contains(r.consequent)
-                && r.antecedent.iter().all(|&i| !sensitive.contains(i))
+            sensitive.contains(r.consequent) && r.antecedent.iter().all(|&i| !sensitive.contains(i))
         })
         .cloned()
         .collect();
     if let Some(err) = confidence_error(&data, &release, &qid_rules) {
-        println!("QID-only rules ({}): mean confidence error {err:.6}", qid_rules.len());
+        println!(
+            "QID-only rules ({}): mean confidence error {err:.6}",
+            qid_rules.len()
+        );
     }
     match confidence_error(&data, &release, &sens_rules) {
         Some(err) => println!(
@@ -91,8 +96,14 @@ fn main() {
         println!(
             "\nexample sensitive rule {:?} -> {}: actual confidence {:.3}, \
              estimated {:.3}; joint count {} estimated as {:.2} (95% CI {:.2}..{:.2})",
-            rule.antecedent, rule.consequent, rule.confidence, est_conf,
-            rule.support, ce.estimate, lo, hi
+            rule.antecedent,
+            rule.consequent,
+            rule.confidence,
+            est_conf,
+            rule.support,
+            ce.estimate,
+            lo,
+            hi
         );
     }
 }

@@ -19,8 +19,8 @@ fn main() {
     //    the paper's evaluation setup; real deployments pass an explicit
     //    item list to `SensitiveSet::new`.
     let mut rng = rand_seed(7);
-    let sensitive = SensitiveSet::select_random(&data, 10, 20, &mut rng)
-        .expect("enough low-support items");
+    let sensitive =
+        SensitiveSet::select_random(&data, 10, 20, &mut rng).expect("enough low-support items");
     println!("sensitive items: {:?}", sensitive.items());
 
     // 3. Anonymize with privacy degree p = 10: no transaction can be linked

@@ -62,7 +62,10 @@ fn main() {
     for k in [2usize, 4, 6] {
         let mut rng = rand_seed(k as u64);
         if let Some(p) = reidentification_probability(&binary, None, k, 10_000, &mut rng) {
-            println!("attacker knows {k} rated titles: re-identification {:5.1}%", p * 100.0);
+            println!(
+                "attacker knows {k} rated titles: re-identification {:5.1}%",
+                p * 100.0
+            );
         }
     }
 
@@ -107,9 +110,16 @@ fn main() {
     let worst = release
         .groups
         .iter()
-        .flat_map(|g| g.sensitive_counts.iter().map(move |&(_, f)| f as f64 / g.size() as f64))
+        .flat_map(|g| {
+            g.sensitive_counts
+                .iter()
+                .map(move |&(_, f)| f as f64 / g.size() as f64)
+        })
         .fold(0.0f64, f64::max);
-    println!("worst sensitive association probability: {worst:.3} (bound 1/{p} = {:.3})", 1.0 / p as f64);
+    println!(
+        "worst sensitive association probability: {worst:.3} (bound 1/{p} = {:.3})",
+        1.0 / p as f64
+    );
 }
 
 fn mean_rating_original(data: &WeightedTransactionSet, title: u32) -> f64 {
@@ -125,10 +135,7 @@ fn mean_rating_original(data: &WeightedTransactionSet, title: u32) -> f64 {
     sum as f64 / n.max(1) as f64
 }
 
-fn mean_rating_published(
-    release: &cahd::core::weighted::WeightedPublished,
-    title: u32,
-) -> f64 {
+fn mean_rating_published(release: &cahd::core::weighted::WeightedPublished, title: u32) -> f64 {
     let mut sum = 0u64;
     let mut n = 0u64;
     for g in &release.groups {

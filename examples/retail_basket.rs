@@ -18,11 +18,31 @@ use cahd::prelude::*;
 /// A small human-readable product catalog. The first `SENSITIVE_FROM` ids
 /// are ordinary products; the rest are sensitive (pharmacy-style).
 const CATALOG: &[&str] = &[
-    "wine", "meat", "cream", "strawberries", "bread", "milk", "cheese", "coffee", "tea",
-    "chocolate", "pasta", "tomatoes", "olive-oil", "butter", "eggs", "rice", "apples", "bananas",
-    "salmon", "beer",
+    "wine",
+    "meat",
+    "cream",
+    "strawberries",
+    "bread",
+    "milk",
+    "cheese",
+    "coffee",
+    "tea",
+    "chocolate",
+    "pasta",
+    "tomatoes",
+    "olive-oil",
+    "butter",
+    "eggs",
+    "rice",
+    "apples",
+    "bananas",
+    "salmon",
+    "beer",
     // sensitive products
-    "pregnancy-test", "hiv-test", "antidepressant", "viagra",
+    "pregnancy-test",
+    "hiv-test",
+    "antidepressant",
+    "viagra",
 ];
 const SENSITIVE_FROM: usize = 20;
 
@@ -65,8 +85,7 @@ fn main() {
     // purchases pin down a unique transaction?
     for k in [2usize, 3] {
         let mut rng = rand_seed(100 + k as u64);
-        if let Some(pr) =
-            reidentification_probability(&data, Some(&sensitive), k, 10_000, &mut rng)
+        if let Some(pr) = reidentification_probability(&data, Some(&sensitive), k, 10_000, &mut rng)
         {
             println!(
                 "attacker knowing {k} ordinary purchases re-identifies a basket with p = {:.1}%",
@@ -94,7 +113,10 @@ fn main() {
         let mut best = (0u32, 1u32, 0usize);
         for a in 0..SENSITIVE_FROM as ItemId {
             for b in (a + 1)..SENSITIVE_FROM as ItemId {
-                let s = data.iter().filter(|t| t.contains(&a) && t.contains(&b)).count();
+                let s = data
+                    .iter()
+                    .filter(|t| t.contains(&a) && t.contains(&b))
+                    .count();
                 if s > best.2 {
                     best = (a, b, s);
                 }
@@ -138,7 +160,7 @@ fn main() {
         .published
         .groups
         .iter()
-        .filter_map(|g| g.privacy_degree())
+        .filter_map(cahd::prelude::AnonymizedGroup::privacy_degree)
         .min()
         .unwrap();
     println!("worst-case association probability: 1/{worst} (required <= 1/{p})");

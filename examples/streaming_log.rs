@@ -70,7 +70,9 @@ fn main() {
             chunks.push(chunk);
         }
         Ok(None) => {}
-        Err(CahdError::Infeasible { item, support, n, .. }) => {
+        Err(CahdError::Infeasible {
+            item, support, n, ..
+        }) => {
             println!(
                 "final batch infeasible (item {item}: {support} of {n}); \
                  a real deployment would suppress via enforce_feasibility"
@@ -80,15 +82,16 @@ fn main() {
     }
 
     let total: usize = chunks.iter().map(|c| c.stream_ids.len()).sum();
-    let audited = chunks
-        .iter()
-        .map(|c| privacy_report(&c.published))
-        .fold((usize::MAX, 0.0f64), |acc, r| {
-            (
-                acc.0.min(r.min_privacy_degree.unwrap_or(usize::MAX)),
-                acc.1.max(r.max_association_probability),
-            )
-        });
+    let audited =
+        chunks
+            .iter()
+            .map(|c| privacy_report(&c.published))
+            .fold((usize::MAX, 0.0f64), |acc, r| {
+                (
+                    acc.0.min(r.min_privacy_degree.unwrap_or(usize::MAX)),
+                    acc.1.max(r.max_association_probability),
+                )
+            });
     println!(
         "\nstream summary: {total} transactions released in {} chunks; \
          worst privacy degree {}, worst association probability {:.3} (bound {:.3})",

@@ -99,7 +99,11 @@ fn explicit_and_implicit_aat_give_identical_pipelines() {
 fn column_order_does_not_affect_grouping() {
     // Column permutations are presentation-only: CAHD depends on row order.
     let (data, sens) = setup();
-    for order in [ColumnOrder::MeanRowPos, ColumnOrder::FirstOccurrence, ColumnOrder::Identity] {
+    for order in [
+        ColumnOrder::MeanRowPos,
+        ColumnOrder::FirstOccurrence,
+        ColumnOrder::Identity,
+    ] {
         let red = reduce_unsymmetric(
             data.matrix(),
             UnsymOptions {

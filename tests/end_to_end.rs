@@ -24,8 +24,7 @@ fn cahd_pipeline_verifies_across_privacy_degrees() {
         let res = Anonymizer::new(AnonymizerConfig::with_privacy_degree(p))
             .anonymize(&data, &sens)
             .unwrap_or_else(|e| panic!("p={p}: {e}"));
-        verify_published(&data, &sens, &res.published, p)
-            .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        verify_published(&data, &sens, &res.published, p).unwrap_or_else(|e| panic!("p={p}: {e}"));
         // Published degree meets or exceeds the requirement.
         assert!(res.published.privacy_degree().is_none_or(|d| d >= p));
     }
@@ -143,7 +142,9 @@ fn infeasible_privacy_reported_not_violated() {
     // Make the most frequent item sensitive: high support -> infeasible
     // for large p.
     let supports = data.item_supports();
-    let top = (0..data.n_items() as u32).max_by_key(|&i| supports[i as usize]).unwrap();
+    let top = (0..data.n_items() as u32)
+        .max_by_key(|&i| supports[i as usize])
+        .unwrap();
     let sens = SensitiveSet::new(vec![top], data.n_items());
     let p = data.n_transactions() / supports[top as usize] + 1;
     let err = Anonymizer::new(AnonymizerConfig::with_privacy_degree(p))

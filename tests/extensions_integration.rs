@@ -76,18 +76,17 @@ fn weighted_pipeline_through_the_facade() {
     let rows: Vec<Vec<(ItemId, u32)>> = data
         .iter()
         .enumerate()
-        .map(|(t, items)| {
-            items
-                .iter()
-                .map(|&i| (i, 1 + (t as u32 + i) % 5))
-                .collect()
-        })
+        .map(|(t, items)| items.iter().map(|&i| (i, 1 + (t as u32 + i) % 5)).collect())
         .collect();
     let wdata = WeightedTransactionSet::from_rows(&rows, data.n_items());
     let p = 10;
-    let (release, _) =
-        anonymize_weighted(&wdata, &sens, &CahdConfig::new(p), WeightedSimilarity::MinCount)
-            .unwrap();
+    let (release, _) = anonymize_weighted(
+        &wdata,
+        &sens,
+        &CahdConfig::new(p),
+        WeightedSimilarity::MinCount,
+    )
+    .unwrap();
     verify_weighted(&wdata, &sens, &release, p).unwrap();
     // Quantities on QID items survive verbatim: the global sum per item
     // matches between original and release.
@@ -113,11 +112,8 @@ fn streaming_composes_with_mining() {
     use cahd::eval::mining::published_qid_support;
     let (data, sens) = setup();
     let p = 5;
-    let mut s = StreamingAnonymizer::new(
-        AnonymizerConfig::with_privacy_degree(p),
-        sens.clone(),
-        200,
-    );
+    let mut s =
+        StreamingAnonymizer::new(AnonymizerConfig::with_privacy_degree(p), sens.clone(), 200);
     let mut chunks = Vec::new();
     for t in 0..data.n_transactions() {
         if let Some(c) = s.push(data.transaction(t).to_vec()).unwrap() {

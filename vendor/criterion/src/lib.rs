@@ -1,0 +1,208 @@
+//! A minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `BenchmarkId::from_parameter`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — with simple
+//! wall-clock timing instead of statistical analysis.
+//!
+//! Honors `--bench` (ignored filter args tolerated) and `--test` /
+//! `CRITERION_SMOKE=1`, which run each benchmark exactly once so CI can
+//! smoke-test bench targets quickly.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state; hands out benchmark groups.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let smoke = self.smoke;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 100,
+            smoke,
+        }
+    }
+
+    /// Benches a standalone function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let smoke = self.smoke;
+        run_one(id, 100, smoke, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.smoke,
+            f,
+        );
+        self
+    }
+
+    /// Benches `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.smoke,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, smoke: bool, mut f: F) {
+    let samples = if smoke { 1 } else { sample_size as u64 };
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b
+        .elapsed
+        .checked_div(samples.max(1) as u32)
+        .unwrap_or_default();
+    println!("bench: {label:<50} {per_iter:>12.2?}/iter ({samples} iters)");
+}
+
+/// Declares a set of benchmark functions as one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        std::env::set_var("CRITERION_SMOKE", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        let mut hits = 0u32;
+        g.bench_function("count", |b| b.iter(|| hits += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

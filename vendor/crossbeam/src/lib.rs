@@ -1,0 +1,95 @@
+//! Offline shim for the slice of `crossbeam` the workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn` / `ScopedJoinHandle::join`.
+//!
+//! Backed by `std::thread::scope` (Rust >= 1.63), which provides the same
+//! structured-concurrency guarantee. The closure passed to `spawn` receives
+//! a `&Scope` argument (usually ignored as `|_|`) to match crossbeam's
+//! signature.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Spawn handle passed to the scope closure; wraps `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope again,
+        /// mirroring crossbeam's `spawn(|scope| ...)` signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; `join` returns `Err` if the thread panicked.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    ///
+    /// Matches crossbeam's signature: the outer `Result` is `Err` only if a
+    /// spawned thread panicked *and* its panic was not already observed via
+    /// `join` (std re-raises such panics, so in practice this returns `Ok`
+    /// whenever `f` itself completes).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join_in_order() {
+        let items = vec![1u64, 2, 3, 4];
+        let doubled = crate::thread::scope(|scope| {
+            let handles: Vec<_> = items.iter().map(|x| scope.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope panicked");
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope itself should succeed");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let v = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

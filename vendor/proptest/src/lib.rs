@@ -1,0 +1,785 @@
+//! A tiny, self-contained subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the property-testing surface its test suites use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_perturb`,
+//! range and tuple strategies, [`collection::vec`] and
+//! [`collection::btree_set`], [`Just`], the `proptest!` macro (both the
+//! test-function and closure forms), and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: no shrinking (failures report the raw
+//! failing input), and case generation is deterministic per test name, so
+//! failures always reproduce.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seed(state: u64) -> Self {
+        TestRng {
+            state: state ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and samples it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Transforms generated values with access to the generator.
+    fn prop_perturb<O, F: Fn(Self::Value, TestRng) -> O>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+    {
+        Perturb { inner: self, f }
+    }
+
+    /// Keeps only values passing the predicate (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+#[derive(Clone, Debug)]
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        let fork = TestRng::seed(rng.next_u64());
+        (self.f)(value, fork)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String patterns are strategies, as in the real crate: the pattern is a
+/// small regex subset — literal characters, escapes, character classes with
+/// ranges (`[ -~\n]`), and the quantifiers `{n}`, `{lo,hi}`, `*`, `+`, `?`.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    /// Generates a random string matching the supported regex subset.
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class = parse_atom(pat, &chars, &mut i);
+            let (lo, hi) = parse_quantifier(pat, &chars, &mut i);
+            let span = (hi - lo) as u64 + 1;
+            let reps = lo + (rng.next_u64() % span) as usize;
+            for _ in 0..reps {
+                let k = (rng.next_u64() % class.len() as u64) as usize;
+                out.push(class[k]);
+            }
+        }
+        out
+    }
+
+    /// One atom = the set of characters it can produce.
+    fn parse_atom(pat: &str, chars: &[char], i: &mut usize) -> Vec<char> {
+        match chars[*i] {
+            '[' => {
+                *i += 1;
+                let mut class = Vec::new();
+                while *i < chars.len() && chars[*i] != ']' {
+                    let lo = parse_class_char(pat, chars, i);
+                    if *i + 1 < chars.len() && chars[*i] == '-' && chars[*i + 1] != ']' {
+                        *i += 1;
+                        let hi = parse_class_char(pat, chars, i);
+                        assert!(lo <= hi, "empty range in pattern `{pat}`");
+                        class.extend((lo..=hi).filter_map(char::from_u32));
+                    } else {
+                        class.extend(char::from_u32(lo));
+                    }
+                }
+                assert!(*i < chars.len(), "unterminated `[` in pattern `{pat}`");
+                *i += 1; // closing `]`
+                assert!(!class.is_empty(), "empty class in pattern `{pat}`");
+                class
+            }
+            '\\' => {
+                let c = parse_class_char(pat, chars, i);
+                vec![char::from_u32(c).expect("escape yields valid char")]
+            }
+            c @ ('(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("proptest shim: regex operator `{c}` unsupported in `{pat}`")
+            }
+            c => {
+                *i += 1;
+                vec![c]
+            }
+        }
+    }
+
+    /// A literal or escaped character inside (or outside) a class.
+    fn parse_class_char(pat: &str, chars: &[char], i: &mut usize) -> u32 {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' {
+            return c as u32;
+        }
+        assert!(*i < chars.len(), "dangling `\\` in pattern `{pat}`");
+        let esc = chars[*i];
+        *i += 1;
+        match esc {
+            'n' => '\n' as u32,
+            'r' => '\r' as u32,
+            't' => '\t' as u32,
+            '0' => 0,
+            c @ ('\\' | '-' | ']' | '[' | '{' | '}' | '.' | '*' | '+' | '?' | '(' | ')' | '|'
+            | '^' | '$' | '"' | '\'' | '/') => c as u32,
+            c => panic!("proptest shim: escape `\\{c}` unsupported in `{pat}`"),
+        }
+    }
+
+    /// `{n}`, `{lo,hi}`, `*`, `+`, `?`, or none (exactly once).
+    fn parse_quantifier(pat: &str, chars: &[char], i: &mut usize) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated `{{` in pattern `{pat}`"));
+                let body: String = chars[*i + 1..*i + close].iter().collect();
+                *i += close + 1;
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad repeat `{body}` in pattern `{pat}`"))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo), parse(hi)),
+                    None => {
+                        let n = parse(&body);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// `bool` strategy: uniform coin flip.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for collection strategies (inclusive bounds).
+    ///
+    /// Built via `From` impls that only exist for `usize` shapes, so bare
+    /// range literals like `1..6` infer `usize` as in the real crate.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            assert!(self.lo <= self.hi, "cannot sample empty size range");
+            let span = (self.hi - self.lo) as u64 + 1;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "cannot sample empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` (`0..8`, `n..=n`, `3`, ...)
+    /// with elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` with up to `size` elements from `elem` (duplicates
+    /// collapse, as in the real crate's best-effort filling).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: a narrow element domain may not be able to
+            // fill the target size.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Run-time configuration for the [`TestRunner`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives a strategy through a property closure; panics on the first
+/// failing case with the input's debug representation.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `property` against `cases` generated inputs. The seed is
+    /// derived from `name` so every test is deterministic in isolation.
+    pub fn run_named<S: Strategy>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        mut property: impl FnMut(S::Value) -> Result<(), String>,
+    ) where
+        S::Value: Debug,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut rng =
+                TestRng::seed(base ^ u64::from(case).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95));
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| property(value)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(msg)) => panic!(
+                    "proptest: property `{name}` failed at case {case}:\n{msg}\ninput: {repr}"
+                ),
+                Err(cause) => {
+                    let msg = panic_message(&cause);
+                    panic!(
+                        "proptest: property `{name}` panicked at case {case}: {msg}\ninput: {repr}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a test module usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, AnyBool, Just,
+        ProptestConfig, Strategy, TestRng, TestRunner,
+    };
+}
+
+/// Defines property tests (`#[test]` functions) or runs an inline
+/// property (closure form).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    (|($($pat:pat_param in $strat:expr),+ $(,)?)| $body:block) => {{
+        let mut runner = $crate::TestRunner::new($crate::ProptestConfig::default());
+        runner.run_named(
+            concat!(file!(), ":", line!()),
+            &($($strat,)+),
+            |($($pat,)+)| { $body Ok(()) },
+        );
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($cfg);
+                runner.run_named(
+                    stringify!($name),
+                    &($($strat,)+),
+                    |($($pat,)+)| { $body Ok(()) },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current property when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Fails the current property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {}\n  left: {:?}\n right: {:?} ({}:{})",
+                format!($($fmt)+), l, r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Fails the current property when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {}\n  both: {:?} ({}:{})",
+                format!($($fmt)+), l, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No discard accounting in the shim: treat as a vacuous pass.
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..10).prop_flat_map(|n| (Just(n), collection::vec(0..n as u32, 0..8)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17) {
+            prop_assert!((3..17).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, xs) in arb_pair()) {
+            for &x in &xs {
+                prop_assert!((x as usize) < n, "{x} >= {n}");
+            }
+        }
+
+        #[test]
+        fn sets_are_sorted(s in collection::btree_set(0u32..50, 0..10)) {
+            let v: Vec<u32> = s.iter().copied().collect();
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(v, sorted);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n > 4);
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let hits = std::cell::Cell::new(0u32);
+        proptest!(|(x in 0u64..100)| {
+            prop_assert!(x < 100);
+            hits.set(hits.get() + 1);
+        });
+        assert_eq!(hits.get(), ProptestConfig::default().cases);
+    }
+
+    #[test]
+    fn perturb_gets_rng() {
+        let strat = Just(5u64).prop_perturb(|v, mut rng| v + (rng.next_u64() % 5));
+        let mut rng = TestRng::seed(9);
+        for _ in 0..20 {
+            let v = strat.generate(&mut rng);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_report_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run_named("failing", &(0usize..100), |x| {
+            prop_assert!(x < 1);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,151 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Supports exactly what the workspace needs: non-generic structs with
+//! named fields. The macro walks the raw token stream (no `syn`/`quote`
+//! available offline) and emits impls of the shim's value-tree traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        let entries: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                )
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(::std::vec![{entries}])\n\
+                 }}\n\
+             }}"
+        )
+    } else {
+        let inits: String = fields
+            .iter()
+            .map(|f| format!("{f}: ::serde::get_field(v, {f:?})?,"))
+            .collect();
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                 }}\n\
+             }}"
+        )
+    };
+    code.parse().unwrap()
+}
+
+/// Extracts the struct name and its field names from the derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        _ => return Err("serde shim: only structs can derive Serialize/Deserialize".into()),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(name)) => {
+            i += 1;
+            name.to_string()
+        }
+        _ => return Err("serde shim: expected a struct name".into()),
+    };
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde shim: generic structs are not supported".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => return Err("serde shim: only named-field structs are supported".into()),
+        }
+    };
+
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        skip_attributes_and_visibility(&body, &mut j);
+        let field = match body.get(j) {
+            Some(TokenTree::Ident(f)) => f.to_string(),
+            Some(other) => return Err(format!("serde shim: expected field name, got `{other}`")),
+            None => break,
+        };
+        j += 1;
+        match body.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+            _ => return Err(format!("serde shim: expected `:` after field `{field}`")),
+        }
+        // Skip the type: everything up to the next comma outside angle
+        // brackets (brackets are punct pairs, not token groups).
+        let mut depth = 0i32;
+        while j < body.len() {
+            match &body[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        return Err("serde shim: structs must have at least one named field".into());
+    }
+    Ok((name, fields))
+}
+
+/// Advances `i` past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
