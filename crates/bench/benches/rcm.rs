@@ -58,10 +58,10 @@ fn bench_linear_vs_comparison(c: &mut Criterion) {
     let mut g = c.benchmark_group("rcm/cm_variant");
     g.sample_size(10);
     g.bench_function("comparison_sort", |b| {
-        b.iter(|| reverse_cuthill_mckee(&graph))
+        b.iter(|| reverse_cuthill_mckee(&graph));
     });
     g.bench_function("counting_sort", |b| {
-        b.iter(|| reverse_cuthill_mckee_linear(&graph))
+        b.iter(|| reverse_cuthill_mckee_linear(&graph));
     });
     g.finish();
 }

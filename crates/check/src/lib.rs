@@ -47,7 +47,7 @@ mod report;
 pub use diagnostic::{Diagnostic, Severity};
 pub use passes::{
     BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity,
-    SensitiveSummary,
+    SensitiveSummary, ShardMerge,
 };
 pub use report::CheckReport;
 
@@ -104,7 +104,8 @@ impl Registry {
 }
 
 /// The full built-in registry: config sanity, feasibility, coverage, QID
-/// fidelity, sensitive summaries, privacy degree and band quality.
+/// fidelity, sensitive summaries, privacy degree, shard-merge integrity
+/// and band quality.
 pub fn default_registry() -> Registry {
     Registry::new()
         .register(ConfigSanity)
@@ -113,6 +114,7 @@ pub fn default_registry() -> Registry {
         .register(QidFidelity)
         .register(SensitiveSummary)
         .register(PrivacyDegree)
+        .register(ShardMerge)
         .register(BandQuality)
 }
 
@@ -158,7 +160,7 @@ mod tests {
         let (data, sens, pub_) = setup();
         let report = run(&data, &sens, &pub_, 2);
         assert!(report.is_clean(), "{}", report.render_human());
-        assert_eq!(report.passes_run.len(), 7);
+        assert_eq!(report.passes_run.len(), 8);
     }
 
     #[test]
@@ -250,6 +252,63 @@ mod tests {
         );
         // Warnings alone do not fail the check.
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn shard_merge_pass_accepts_sharded_release() {
+        use cahd_core::shard::{cahd_sharded, ParallelConfig};
+        let (data, sens, _) = setup();
+        let (pub_, _) = cahd_sharded(
+            &data,
+            &sens,
+            &CahdConfig::new(2),
+            &ParallelConfig::new(3, 2),
+        )
+        .unwrap();
+        let report = run(&data, &sens, &pub_, 2);
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(report.passes_run.contains(&"shard-merge"));
+    }
+
+    #[test]
+    fn shard_merge_pass_flags_duplicate_and_dropped_rows() {
+        let (data, sens, mut pub_) = setup();
+        // Simulate a rebase error: one group references a row that another
+        // group already owns, so some original row is never referenced.
+        let dup = pub_.groups[0].members[0];
+        let gi = pub_
+            .groups
+            .iter()
+            .position(|g| !g.members.contains(&dup))
+            .expect("some group does not contain the duplicated row");
+        let victim = pub_.groups[gi].members[0];
+        pub_.groups[gi].members[0] = dup;
+        let registry = Registry::new().register(ShardMerge);
+        let report = registry.run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &pub_,
+            p: 2,
+        });
+        assert!(!report.is_clean());
+        let msgs: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("twice")),
+            "expected a duplicate finding: {msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains(&format!("row {victim} was dropped"))),
+            "expected a dropped-row finding for {victim}: {msgs:?}"
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "CAHD-P002" && d.severity == Severity::Error));
     }
 
     #[test]

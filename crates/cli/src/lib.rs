@@ -7,6 +7,7 @@
 //! cahd-cli audit     <data.dat> [--max-k K] [--trials N] [--seed N]
 //! cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
 //!                    [--method cahd|pm|random] [--alpha A] [--no-rcm]
+//!                    [--shards K] [--threads T]
 //!                    [--strip-members] [--out release.json] [--seed N]
 //! cahd-cli verify    <data.dat> <release.json> --p P
 //! cahd-cli check     <data.dat> <release.json> --p P [--json]

@@ -17,6 +17,7 @@ usage:
                      [--release release.json]  (adds a linkage-attack audit)
   cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
+                     [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>

@@ -63,7 +63,13 @@ impl CahdConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), CahdError> {
+    /// Checks the parameters for degeneracies: `p >= 2` (anything lower
+    /// offers no protection) and `alpha >= 1` (an `alpha` of zero would
+    /// produce empty candidate lists, silently degrading every pivot to
+    /// the leftover group). Parameter errors are reported before any
+    /// dataset-shape error, so a caller always learns about a bad config
+    /// first.
+    pub fn validate(&self) -> Result<(), CahdError> {
         if self.p < 2 {
             return Err(CahdError::InvalidPrivacyDegree(self.p));
         }
@@ -119,6 +125,7 @@ pub fn cahd(
     sensitive: &SensitiveSet,
     config: &CahdConfig,
 ) -> Result<(PublishedDataset, CahdStats), CahdError> {
+    config.validate()?;
     let n = data.n_transactions();
     if sensitive.n_items() != data.n_items() {
         return Err(CahdError::UniverseMismatch {
@@ -138,24 +145,16 @@ pub fn cahd(
     }
     let counts = sensitive.occurrence_counts(data);
 
-    // Binary QID-overlap scorer: |QID(t) ∩ QID(c)| via a stamped marker.
-    let mut item_stamp = vec![0u32; data.n_items()];
-    let mut istamp = 0u32;
-    let scorer = |t: usize, candidates: &[usize], out: &mut Vec<u64>| {
-        istamp += 1;
-        for &it in &qid_of[t] {
-            item_stamp[it as usize] = istamp;
-        }
-        out.clear();
-        out.extend(candidates.iter().map(|&c| {
-            qid_of[c]
-                .iter()
-                .filter(|&&it| item_stamp[it as usize] == istamp)
-                .count() as u64
-        }));
-    };
-
-    let formed = form_groups(n, &sens_of, counts, sensitive.items(), config, scorer)?;
+    let mut scorer = QidOverlapScorer::new(&qid_of, data.n_items());
+    let formed = form_groups(
+        n,
+        &sens_of,
+        counts,
+        sensitive.items(),
+        config,
+        |t, cl, out| scorer.score(t, cl, out),
+        FeasibilityCheck::Enforce,
+    )?;
 
     let mut groups: Vec<AnonymizedGroup> = formed
         .groups
@@ -180,6 +179,58 @@ pub fn cahd(
         "CAHD must publish every transaction exactly once"
     );
     Ok((published, stats))
+}
+
+/// The binary QID-overlap scorer: `|QID(t) ∩ QID(c)|` via a stamped
+/// marker array, reused across pivots without clearing. Shared by the
+/// sequential entry point and the per-shard workers of
+/// [`crate::shard::cahd_sharded`] (each worker owns its own stamps).
+pub(crate) struct QidOverlapScorer<'a> {
+    qid_of: &'a [Vec<ItemId>],
+    item_stamp: Vec<u32>,
+    istamp: u32,
+}
+
+impl<'a> QidOverlapScorer<'a> {
+    /// A scorer over the given QID rows (indices into `qid_of`).
+    pub(crate) fn new(qid_of: &'a [Vec<ItemId>], n_items: usize) -> Self {
+        QidOverlapScorer {
+            qid_of,
+            item_stamp: vec![0u32; n_items],
+            istamp: 0,
+        }
+    }
+
+    /// Fills `out` with one overlap score per candidate.
+    pub(crate) fn score(&mut self, t: usize, candidates: &[usize], out: &mut Vec<u64>) {
+        self.istamp += 1;
+        for &it in &self.qid_of[t] {
+            self.item_stamp[it as usize] = self.istamp;
+        }
+        out.clear();
+        out.extend(candidates.iter().map(|&c| {
+            self.qid_of[c]
+                .iter()
+                .filter(|&&it| self.item_stamp[it as usize] == self.istamp)
+                .count() as u64
+        }));
+    }
+}
+
+/// Whether [`form_groups`] should reject inputs where no degree-`p`
+/// solution exists over its own row range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FeasibilityCheck {
+    /// Error with [`CahdError::Infeasible`] when some sensitive item has
+    /// `support * p > n`. The whole-dataset entry points use this.
+    Enforce,
+    /// Skip the up-front check. Used by the sharded pipeline, where a
+    /// single shard may be locally infeasible (all occurrences of an item
+    /// concentrated in it) while the dataset is globally feasible; the
+    /// per-group histogram validation then simply rejects every group
+    /// touching the overloaded item, and the shard merge repairs the rest
+    /// (see [`crate::shard`]).
+    Skip,
 }
 
 /// Result of the group-formation engine: member-index groups plus run
@@ -209,21 +260,24 @@ pub(crate) fn form_groups(
     sens_items: &[ItemId],
     config: &CahdConfig,
     mut score: impl FnMut(usize, &[usize], &mut Vec<u64>),
+    feasibility: FeasibilityCheck,
 ) -> Result<FormedGroups, CahdError> {
     config.validate()?;
     if n == 0 {
         return Err(CahdError::EmptyDataset);
     }
     let p = config.p;
-    // Global feasibility: a solution must exist (Section IV).
-    for (r, &c) in initial_counts.iter().enumerate() {
-        if c * p > n {
-            return Err(CahdError::Infeasible {
-                item: sens_items[r],
-                support: c,
-                p,
-                n,
-            });
+    if feasibility == FeasibilityCheck::Enforce {
+        // Global feasibility: a solution must exist (Section IV).
+        for (r, &c) in initial_counts.iter().enumerate() {
+            if c * p > n {
+                return Err(CahdError::Infeasible {
+                    item: sens_items[r],
+                    support: c,
+                    p,
+                    n,
+                });
+            }
         }
     }
     let mut hist = SensitiveHistogram::new(initial_counts);
@@ -352,7 +406,7 @@ pub(crate) fn form_groups(
     })
 }
 
-fn make_group(
+pub(crate) fn make_group(
     members: &[usize],
     sensitive: &SensitiveSet,
     qid_of: &[Vec<ItemId>],

@@ -50,6 +50,7 @@ mod invariant;
 pub mod order;
 pub mod pipeline;
 pub mod refine;
+pub mod shard;
 pub mod streaming;
 pub mod suppress;
 pub mod verify;
@@ -61,6 +62,7 @@ pub use error::CahdError;
 pub use group::{AnonymizedGroup, PublishedDataset};
 pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult};
 pub use refine::{intra_group_overlap, refine_groups, RefineStats};
+pub use shard::{cahd_sharded, ParallelConfig, ShardedStats};
 pub use streaming::{ReleaseChunk, StreamingAnonymizer};
 pub use suppress::{enforce_feasibility, SuppressionReport};
 pub use verify::{verify_all, verify_published, VerificationError};

@@ -9,6 +9,7 @@ use cahd_rcm::{reduce_unsymmetric, BandReduction, UnsymOptions};
 use crate::cahd::{cahd, CahdConfig, CahdStats};
 use crate::error::CahdError;
 use crate::group::PublishedDataset;
+use crate::shard::{cahd_sharded, ParallelConfig, ShardedStats};
 
 /// Configuration of the full pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -20,22 +21,34 @@ pub struct AnonymizerConfig {
     pub use_rcm: bool,
     /// Options for the unsymmetric bandwidth reduction.
     pub rcm: UnsymOptions,
+    /// Shard/thread layout of the group-formation phase. The default is
+    /// sequential; see [`crate::shard`] for the merge semantics.
+    pub parallel: ParallelConfig,
 }
 
 impl AnonymizerConfig {
     /// The paper's defaults for privacy degree `p`: RCM enabled,
-    /// `alpha = 3`.
+    /// `alpha = 3`, sequential execution.
     pub fn with_privacy_degree(p: usize) -> Self {
         AnonymizerConfig {
             cahd: CahdConfig::new(p),
             use_rcm: true,
             rcm: UnsymOptions::default(),
+            parallel: ParallelConfig::default(),
         }
     }
 
     /// Disables the RCM phase (ablation: CAHD over the input order).
     pub fn without_rcm(mut self) -> Self {
         self.use_rcm = false;
+        self
+    }
+
+    /// Runs the group-formation phase sharded across worker threads, and
+    /// gives the `A·Aᵀ` build of the RCM phase the same thread count.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self.rcm.threads = parallel.threads.max(1);
         self
     }
 }
@@ -46,8 +59,11 @@ pub struct PipelineResult {
     /// The anonymized release. Group members refer to *original*
     /// transaction indices (the RCM permutation is already undone).
     pub published: PublishedDataset,
-    /// CAHD run statistics.
+    /// CAHD run statistics (aggregated over shards for parallel runs).
     pub cahd_stats: CahdStats,
+    /// Shard-level statistics, present when the run was sharded
+    /// (`parallel.shards >= 2`).
+    pub sharded_stats: Option<ShardedStats>,
     /// The band reduction, when RCM ran.
     pub band: Option<BandReduction>,
     /// Wall-clock time of the RCM phase (zero when disabled).
@@ -89,7 +105,14 @@ impl Anonymizer {
         };
         let rcm_time = band.as_ref().map(|b| b.rcm_time).unwrap_or_default();
 
-        let (mut published, cahd_stats) = cahd(&work, sensitive, &self.config.cahd)?;
+        let (mut published, cahd_stats, sharded_stats) = if self.config.parallel.is_sequential() {
+            let (published, stats) = cahd(&work, sensitive, &self.config.cahd)?;
+            (published, stats, None)
+        } else {
+            let (published, sharded) =
+                cahd_sharded(&work, sensitive, &self.config.cahd, &self.config.parallel)?;
+            (published, sharded.cahd, Some(sharded))
+        };
 
         // Map group members back to original transaction indices.
         if let Some(red) = &band {
@@ -103,6 +126,7 @@ impl Anonymizer {
         Ok(PipelineResult {
             published,
             cahd_stats,
+            sharded_stats,
             band,
             rcm_time,
             total_time: t0.elapsed(),

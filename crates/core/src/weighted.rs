@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use cahd_data::{ItemId, SensitiveSet, WeightedTransactionSet};
 
-use crate::cahd::{form_groups, CahdConfig, CahdStats};
+use crate::cahd::{form_groups, CahdConfig, CahdStats, FeasibilityCheck};
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
 use crate::invariant::strict_invariant;
@@ -121,6 +121,7 @@ pub fn cahd_weighted(
     config: &CahdConfig,
     similarity: WeightedSimilarity,
 ) -> Result<(WeightedPublished, CahdStats), CahdError> {
+    config.validate()?;
     let n = data.n_transactions();
     if sensitive.n_items() != data.n_items() {
         return Err(CahdError::UniverseMismatch {
@@ -173,7 +174,15 @@ pub fn cahd_weighted(
         }));
     };
 
-    let formed = form_groups(n, &sens_of, counts, sensitive.items(), config, scorer)?;
+    let formed = form_groups(
+        n,
+        &sens_of,
+        counts,
+        sensitive.items(),
+        config,
+        scorer,
+        FeasibilityCheck::Enforce,
+    )?;
 
     let make = |members: &[usize]| -> WeightedGroup {
         let mut scounts = vec![0u32; sensitive.len()];

@@ -191,6 +191,18 @@ proptest! {
             .unwrap();
         assert_clean!(&data, &res.published, "batch");
 
+        // Sharded parallel pipeline (end to end, including the RCM
+        // permutation mapping), for a shard count that forces merging.
+        use cahd_core::ParallelConfig;
+        let sharded = Anonymizer::new(
+            AnonymizerConfig::with_privacy_degree(p)
+                .with_parallel(ParallelConfig::new(4, 2)),
+        )
+        .anonymize(&data, &sens)
+        .unwrap();
+        prop_assert!(sharded.sharded_stats.is_some());
+        assert_clean!(&data, &sharded.published, "sharded batch");
+
         // Weighted pipeline, checked through its binary projection.
         let rows: Vec<Vec<(u32, u32)>> = data
             .iter()

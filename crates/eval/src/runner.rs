@@ -56,6 +56,41 @@ pub fn evaluate_workload(
     summarize(&mut kls, skipped)
 }
 
+/// Like [`evaluate_workload`], but computing the per-query KL values with
+/// `threads` workers over contiguous query ranges. Each worker writes into
+/// its own slot range, so the result is identical to the sequential path
+/// for every thread count.
+pub fn evaluate_workload_threaded(
+    data: &TransactionSet,
+    published: &PublishedDataset,
+    queries: &[GroupByQuery],
+    threads: usize,
+) -> ReconstructionSummary {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        return evaluate_workload(data, published, queries);
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut per_query: Vec<Option<f64>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        for (qs, out) in queries.chunks(chunk).zip(per_query.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                    *slot = match (actual_pdf(data, q), estimated_pdf(published, q)) {
+                        (Some(act), Some(est)) => {
+                            Some(kl_divergence(&act, &est, DEFAULT_SMOOTHING))
+                        }
+                        _ => None,
+                    };
+                }
+            });
+        }
+    });
+    let mut kls: Vec<f64> = per_query.into_iter().flatten().collect();
+    let skipped = queries.len() - kls.len();
+    summarize(&mut kls, skipped)
+}
+
 /// The per-query KL values of a workload (queries whose sensitive item is
 /// absent are skipped). Use with [`crate::bootstrap`] for significance
 /// testing of method comparisons; note that skipping can desynchronize
@@ -231,6 +266,29 @@ mod tests {
         assert_eq!(kls.len(), 2);
         assert!(kls[0].is_some());
         assert!(kls[1].is_none());
+    }
+
+    #[test]
+    fn threaded_evaluation_matches_sequential() {
+        let (data, _, good, bad) = setup();
+        let queries: Vec<GroupByQuery> = vec![
+            GroupByQuery::new(4, vec![0]),
+            GroupByQuery::new(4, vec![1]),
+            GroupByQuery::new(3, vec![0]), // absent -> skipped
+            GroupByQuery::new(4, vec![0, 1]),
+        ];
+        for published in [&good, &bad] {
+            let seq = evaluate_workload(&data, published, &queries);
+            for threads in [1usize, 2, 3, 16] {
+                let par = evaluate_workload_threaded(&data, published, &queries, threads);
+                assert_eq!(seq, par, "threads={threads}");
+            }
+        }
+        // Degenerate inputs: empty workload, zero threads.
+        let empty = evaluate_workload_threaded(&data, &good, &[], 8);
+        assert_eq!(empty.n_queries, 0);
+        let zero = evaluate_workload_threaded(&data, &good, &queries, 0);
+        assert_eq!(zero, evaluate_workload(&data, &good, &queries));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct UnsymOptions {
     pub column_order: ColumnOrder,
     /// Symmetrization method (paper Fig. 5 step 1).
     pub aat_method: AatMethod,
+    /// Worker threads for the explicit `A x A^T` build (RCM itself stays
+    /// sequential — the ordering is inherently a serial BFS). The graph is
+    /// identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for UnsymOptions {
@@ -65,6 +69,7 @@ impl Default for UnsymOptions {
             edge_budget: RowGraph::DEFAULT_EDGE_BUDGET,
             column_order: ColumnOrder::MeanRowPos,
             aat_method: AatMethod::Product,
+            threads: 1,
         }
     }
 }
@@ -91,7 +96,7 @@ pub fn reduce_unsymmetric(a: &CsrMatrix, opts: UnsymOptions) -> BandReduction {
     let t0 = Instant::now();
     let (row_perm, sum_col_perm, used_explicit_aat) = match opts.aat_method {
         AatMethod::Product => {
-            let rg = RowGraph::build(a, opts.edge_budget);
+            let rg = RowGraph::build_with_threads(a, opts.edge_budget, opts.threads);
             let explicit = rg.is_explicit();
             (reverse_cuthill_mckee(&rg), None, explicit)
         }
@@ -286,6 +291,31 @@ mod tests {
             implicit.row_perm.new_to_old_slice(),
             "representations must give identical orders"
         );
+    }
+
+    #[test]
+    fn threaded_aat_build_gives_identical_reduction() {
+        let a = scrambled_blocks();
+        let seq = reduce_unsymmetric(&a, UnsymOptions::default());
+        for threads in [2usize, 4, 16] {
+            let par = reduce_unsymmetric(
+                &a,
+                UnsymOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                seq.row_perm.new_to_old_slice(),
+                par.row_perm.new_to_old_slice(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq.col_perm.new_to_old_slice(),
+                par.col_perm.new_to_old_slice(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

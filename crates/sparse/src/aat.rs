@@ -160,8 +160,16 @@ impl RowGraph {
     /// Builds the row graph, choosing the explicit form when the estimated
     /// edge count fits in `edge_budget` and the implicit form otherwise.
     pub fn build(a: &CsrMatrix, edge_budget: usize) -> Self {
+        Self::build_with_threads(a, edge_budget, 1)
+    }
+
+    /// Like [`RowGraph::build`], but materializing the explicit form with
+    /// `threads` workers (see [`RowGraph::build_explicit_threaded`]). The
+    /// implicit fallback is unaffected by the thread count — it builds no
+    /// adjacency up front.
+    pub fn build_with_threads(a: &CsrMatrix, edge_budget: usize, threads: usize) -> Self {
         if Self::estimate_directed_edges(a) <= edge_budget {
-            RowGraph::Explicit(Self::build_explicit(a))
+            RowGraph::Explicit(Self::build_explicit_threaded(a, threads))
         } else {
             RowGraph::Implicit(ImplicitRowGraph::new(a))
         }
@@ -169,22 +177,28 @@ impl RowGraph {
 
     /// Always materializes the adjacency.
     pub fn build_explicit(a: &CsrMatrix) -> Graph {
+        Self::build_explicit_threaded(a, 1)
+    }
+
+    /// Materializes the adjacency with `threads` workers, each owning a
+    /// contiguous row range (and its own marker array, so workers share
+    /// nothing mutable). The output is identical for every thread count:
+    /// each neighbor list depends only on its own row and the transpose.
+    pub fn build_explicit_threaded(a: &CsrMatrix, threads: usize) -> Graph {
         let n = a.n_rows();
         let cols = a.transpose();
-        let mut mark = vec![u32::MAX; n];
-        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(n);
-        for v in 0..n {
-            let mut nbrs: Vec<u32> = Vec::new();
-            mark[v] = v as u32;
-            for &item in a.row(v) {
-                for &r in cols.row(item as usize) {
-                    if mark[r as usize] != v as u32 {
-                        mark[r as usize] = v as u32;
-                        nbrs.push(r);
-                    }
+        let threads = threads.max(1).min(n.max(1));
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        if threads <= 1 {
+            fill_neighbor_rows(a, &cols, 0, &mut rows);
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (wi, slice) in rows.chunks_mut(chunk).enumerate() {
+                    let cols = &cols;
+                    scope.spawn(move || fill_neighbor_rows(a, cols, wi * chunk, slice));
                 }
-            }
-            rows.push(nbrs);
+            });
         }
         Graph::from_adjacency_unchecked(CsrMatrix::from_rows(&rows, n))
     }
@@ -197,6 +211,24 @@ impl RowGraph {
     /// Whether the explicit representation was chosen.
     pub fn is_explicit(&self) -> bool {
         matches!(self, RowGraph::Explicit(_))
+    }
+}
+
+/// Fills `out[i]` with the distinct neighbors of row `base + i` (excluding
+/// the row itself), using a stamped marker array local to the caller.
+fn fill_neighbor_rows(a: &CsrMatrix, cols: &CsrMatrix, base: usize, out: &mut [Vec<u32>]) {
+    let mut mark = vec![u32::MAX; a.n_rows()];
+    for (i, nbrs) in out.iter_mut().enumerate() {
+        let v = base + i;
+        mark[v] = v as u32;
+        for &item in a.row(v) {
+            for &r in cols.row(item as usize) {
+                if mark[r as usize] != v as u32 {
+                    mark[r as usize] = v as u32;
+                    nbrs.push(r);
+                }
+            }
+        }
     }
 }
 
@@ -280,6 +312,28 @@ mod tests {
         let actual: usize = (0..4).map(|v| NeighborOracle::degree(&g, v)).sum();
         assert!(est >= actual);
         assert_eq!(est, 2 + 2); // item0: 2 rows -> 2; item2: 2 rows -> 2
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential_for_any_thread_count() {
+        let rows: Vec<Vec<u32>> = (0..23u32).map(|i| vec![i % 5, 5 + i % 3]).collect();
+        let a = CsrMatrix::from_rows(&rows, 8);
+        let seq = RowGraph::build_explicit(&a);
+        for threads in [2usize, 3, 8, 64] {
+            let par = RowGraph::build_explicit_threaded(&a, threads);
+            for v in 0..a.n_rows() {
+                assert_eq!(
+                    sorted_neighbors(&seq, v),
+                    sorted_neighbors(&par, v),
+                    "vertex {v}, threads {threads}"
+                );
+            }
+        }
+        // Zero threads is clamped, and the budget gate still applies.
+        let par0 = RowGraph::build_explicit_threaded(&a, 0);
+        assert_eq!(sorted_neighbors(&seq, 1), sorted_neighbors(&par0, 1));
+        assert!(RowGraph::build_with_threads(&a, usize::MAX, 4).is_explicit());
+        assert!(!RowGraph::build_with_threads(&a, 0, 4).is_explicit());
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub mod prelude {
     // crate itself.
     pub use cahd_core::cahd::cahd;
     pub use cahd_core::{
-        enforce_feasibility, privacy_report, verify_published, AnonymizedGroup, Anonymizer,
-        AnonymizerConfig, CahdConfig, CahdError, PrivacyReport, PublishedDataset,
-        StreamingAnonymizer, SuppressionReport,
+        cahd_sharded, enforce_feasibility, privacy_report, verify_published, AnonymizedGroup,
+        Anonymizer, AnonymizerConfig, CahdConfig, CahdError, ParallelConfig, PrivacyReport,
+        PublishedDataset, ShardedStats, StreamingAnonymizer, SuppressionReport,
     };
     pub use cahd_data::{DatasetStats, ItemId, SensitiveSet, TransactionSet};
     pub use cahd_eval::{

@@ -137,6 +137,82 @@ fn anonymization_reduces_sensitive_linkability() {
 }
 
 #[test]
+fn sharded_pipeline_verifies_and_matches_sequential_at_one_shard() {
+    let (data, sens) = bms1_small();
+    for p in [2usize, 5, 10] {
+        let seq = Anonymizer::new(AnonymizerConfig::with_privacy_degree(p))
+            .anonymize(&data, &sens)
+            .unwrap();
+        // shards = 1: the parallel config must not change the release,
+        // whatever the thread count (threads only touch the A·Aᵀ build).
+        let one = Anonymizer::new(
+            AnonymizerConfig::with_privacy_degree(p).with_parallel(ParallelConfig::new(1, 8)),
+        )
+        .anonymize(&data, &sens)
+        .unwrap();
+        assert_eq!(seq.published, one.published, "p={p}");
+        assert!(one.sharded_stats.is_none());
+        // Genuinely sharded runs verify end to end.
+        for shards in [2usize, 5, 16] {
+            let par = Anonymizer::new(
+                AnonymizerConfig::with_privacy_degree(p)
+                    .with_parallel(ParallelConfig::new(shards, 4)),
+            )
+            .anonymize(&data, &sens)
+            .unwrap();
+            verify_published(&data, &sens, &par.published, p)
+                .unwrap_or_else(|e| panic!("p={p} shards={shards}: {e}"));
+            let stats = par.sharded_stats.expect("sharded run must report stats");
+            assert_eq!(stats.shards, shards.min(data.n_transactions()));
+        }
+    }
+}
+
+#[test]
+fn sharded_pipeline_handles_shard_with_fewer_than_p_sensitive_rows() {
+    // 4 shards of 8 rows. Shard 2 (rows 16..24) holds exactly ONE
+    // sensitive transaction — fewer than p = 4 — so its CAHD scan can
+    // never assemble a full group from sensitive pivots alone and must
+    // fall back to candidate neighbors or the pooled leftover. The other
+    // sensitive occurrences sit in shard 0.
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for i in 0..32u32 {
+        let mut row = vec![i / 8, 4 + i % 3];
+        match i {
+            0 | 4 => row.push(10), // two occurrences in shard 0
+            18 => row.push(11),    // lone sensitive row in shard 2
+            _ => {}
+        }
+        row.sort_unstable();
+        rows.push(row);
+    }
+    let data = TransactionSet::from_rows(&rows, 12);
+    let sens = SensitiveSet::new(vec![10, 11], 12);
+    let p = 4;
+    // Drive cahd_sharded directly (no RCM) so the shard boundaries above
+    // are exactly the ones the scan sees.
+    let (published, stats) = cahd_sharded(
+        &data,
+        &sens,
+        &CahdConfig::new(p),
+        &ParallelConfig::new(4, 2),
+    )
+    .unwrap();
+    verify_published(&data, &sens, &published, p).unwrap();
+    assert!(published.satisfies(p));
+    assert_eq!(published.n_transactions(), 32);
+    assert_eq!(stats.shards, 4);
+    // The lone sensitive row was still published exactly once.
+    let times_seen = published
+        .groups
+        .iter()
+        .flat_map(|g| g.members.iter())
+        .filter(|&&m| m == 18)
+        .count();
+    assert_eq!(times_seen, 1);
+}
+
+#[test]
 fn infeasible_privacy_reported_not_violated() {
     let (data, _) = bms1_small();
     // Make the most frequent item sensitive: high support -> infeasible
