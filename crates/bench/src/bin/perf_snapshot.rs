@@ -1,0 +1,59 @@
+//! Emits a `BENCH_<epoch-secs>.json` perf snapshot of the traced
+//! reference workloads (see `cahd_bench::snapshot`).
+//!
+//! ```text
+//! perf_snapshot [--quick] [--seed N] [--out-dir DIR]
+//! ```
+//!
+//! `--quick` runs the CI-sized workload set; the default is the 0.25-scale
+//! profile used by the paper reproduction. The file is re-read after
+//! writing, so a zero exit status also certifies the schema round-trips.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cahd_bench::snapshot;
+
+const USAGE: &str = "usage: perf_snapshot [--quick] [--seed N] [--out-dir DIR]";
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--out-dir" => match args.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return usage_error("--out-dir needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let snap = snapshot::collect(quick, seed);
+    print!("{}", snap.render_human());
+    match snap.write_validated(&out_dir) {
+        Ok(path) => {
+            println!("snapshot written to {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

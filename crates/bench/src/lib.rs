@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod report;
 pub mod runs;
+pub mod snapshot;
 
 pub use context::{DatasetId, ExperimentContext};
 pub use report::Table;

@@ -1,0 +1,203 @@
+//! Perf-snapshot emitter: serialize one traced reference run per
+//! configuration into a `BENCH_<epoch-secs>.json` file.
+//!
+//! Unlike the Criterion benches (statistical micro-timings) and the
+//! `experiments` binary (paper tables), a snapshot is a single cheap
+//! end-to-end measurement designed to be committed or archived as a CI
+//! artifact and diffed across commits: phase wall-clocks from the span
+//! tree plus the deterministic work counters (pivots, candidate scans),
+//! so a perf regression can be split into "doing more work" vs "doing
+//! the same work slower". See `docs/OBSERVABILITY.md` for how to read
+//! the file.
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+use cahd_core::shard::ParallelConfig;
+use cahd_data::{profiles, SensitiveSet};
+use cahd_obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One traced reference run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Workload id, e.g. `bms1/p4/shards1`.
+    pub name: String,
+    /// Dataset size (transactions).
+    pub n_transactions: u64,
+    /// Dataset universe (items).
+    pub n_items: u64,
+    /// Privacy degree.
+    pub p: u64,
+    /// Shard count (1 = sequential).
+    pub shards: u64,
+    /// End-to-end pipeline wall-clock, milliseconds.
+    pub total_ms: f64,
+    /// RCM phase wall-clock (span `pipeline/rcm`), milliseconds.
+    pub rcm_ms: f64,
+    /// Group-formation wall-clock (span `pipeline/group`), milliseconds.
+    pub group_ms: f64,
+    /// Groups in the release.
+    pub groups: u64,
+    /// Deterministic work: pivots scanned by the greedy engine.
+    pub pivots_scanned: u64,
+    /// Deterministic work: candidate-transaction scans.
+    pub candidates_scanned: u64,
+}
+
+/// A full snapshot file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerfSnapshot {
+    /// Unix timestamp (seconds) the snapshot was taken.
+    pub created_unix_s: u64,
+    /// Whether the quick (CI-sized) workload set was used.
+    pub quick: bool,
+    /// Seed for dataset synthesis and sensitive-item selection.
+    pub seed: u64,
+    /// The runs.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// Milliseconds of a span, 0 when absent.
+fn span_ms(trace: &cahd_obs::TraceReport, path: &str) -> f64 {
+    trace.span(path).map_or(0.0, |s| s.total_ns as f64 / 1e6)
+}
+
+/// Runs one traced reference configuration.
+fn run_entry(
+    name: &str,
+    data: &cahd_data::TransactionSet,
+    p: usize,
+    shards: usize,
+    seed: u64,
+) -> SnapshotEntry {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sensitive = SensitiveSet::select_random(data, 4, p, &mut rng)
+        .expect("reference profiles admit 4 sensitive items");
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    if shards > 1 {
+        cfg = cfg.with_parallel(ParallelConfig::new(shards, 2));
+    }
+    let rec = Recorder::new();
+    let res = Anonymizer::new(cfg)
+        .anonymize_traced(data, &sensitive, &rec)
+        .expect("reference workload is feasible");
+    let trace = res.trace.expect("traced run yields a report");
+    SnapshotEntry {
+        name: name.to_string(),
+        n_transactions: data.n_transactions() as u64,
+        n_items: data.n_items() as u64,
+        p: p as u64,
+        shards: shards as u64,
+        total_ms: res.total_time.as_secs_f64() * 1e3,
+        rcm_ms: span_ms(&trace, "pipeline/rcm"),
+        group_ms: span_ms(&trace, "pipeline/group"),
+        groups: res.published.n_groups() as u64,
+        pivots_scanned: trace.counter("core.pivots_scanned").unwrap_or(0),
+        candidates_scanned: trace.counter("core.candidates_scanned").unwrap_or(0),
+    }
+}
+
+/// Collects the snapshot: the BMS-like reference profiles at `--quick`
+/// (CI) or full size, each sequential and sharded.
+pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
+    let scale = if quick { 0.02 } else { 0.25 };
+    let created_unix_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let bms1 = profiles::bms1_like(scale, seed);
+    let bms2 = profiles::bms2_like(scale, seed);
+    let mut entries = Vec::new();
+    for (profile, data) in [("bms1", &bms1), ("bms2", &bms2)] {
+        for shards in [1usize, 4] {
+            let name = format!("{profile}/p4/shards{shards}");
+            entries.push(run_entry(&name, data, 4, shards, seed));
+        }
+    }
+    PerfSnapshot {
+        created_unix_s,
+        quick,
+        seed,
+        entries,
+    }
+}
+
+impl PerfSnapshot {
+    /// The canonical file name, `BENCH_<epoch-secs>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.created_unix_s)
+    }
+
+    /// Writes the snapshot into `dir` and re-reads it to prove the file
+    /// parses back to the same value. Returns the written path.
+    pub fn write_validated(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(format!("snapshot does not serialize: {e}")))?;
+        std::fs::write(&path, text)?;
+        let back: PerfSnapshot = serde_json::from_str(&std::fs::read_to_string(&path)?)
+            .map_err(|e| std::io::Error::other(format!("snapshot does not re-parse: {e}")))?;
+        if back != *self {
+            return Err(std::io::Error::other(
+                "snapshot re-parses to a different value",
+            ));
+        }
+        Ok(path)
+    }
+
+    /// One line per entry, for terminal output.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "perf snapshot @{} ({} mode)\n",
+            self.created_unix_s,
+            if self.quick { "quick" } else { "full" }
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "  {:<20} n={:<6} total {:>8.1} ms  rcm {:>8.1} ms  group {:>8.1} ms  \
+                 pivots {:>6}  groups {:>5}\n",
+                e.name,
+                e.n_transactions,
+                e.total_ms,
+                e.rcm_ms,
+                e.group_ms,
+                e.pivots_scanned,
+                e.groups
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_snapshot_collects_writes_and_revalidates() {
+        let snap = collect(true, 7);
+        assert_eq!(snap.entries.len(), 4);
+        for e in &snap.entries {
+            assert!(e.pivots_scanned > 0, "{}", e.name);
+            assert!(e.total_ms >= e.group_ms, "{}", e.name);
+        }
+        // Sequential and sharded runs of a profile agree on the dataset.
+        assert_eq!(
+            snap.entries[0].n_transactions,
+            snap.entries[1].n_transactions
+        );
+        let dir = std::env::temp_dir().join(format!("cahd_snap_{}", std::process::id()));
+        let path = snap.write_validated(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("BENCH_"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

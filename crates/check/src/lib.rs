@@ -33,12 +33,14 @@
 //!     sensitive: &sensitive,
 //!     published: &result.published,
 //!     p: 2,
+//!     trace: None,
 //! });
 //! assert!(report.is_clean());
 //! ```
 
 use cahd_core::PublishedDataset;
 use cahd_data::{SensitiveSet, TransactionSet};
+use cahd_obs::TraceReport;
 
 mod diagnostic;
 mod passes;
@@ -47,7 +49,7 @@ mod report;
 pub use diagnostic::{Diagnostic, Severity};
 pub use passes::{
     BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity,
-    SensitiveSummary, ShardMerge,
+    SensitiveSummary, ShardMerge, TraceObs,
 };
 pub use report::CheckReport;
 
@@ -62,6 +64,10 @@ pub struct CheckInput<'a> {
     pub published: &'a PublishedDataset,
     /// The required privacy degree.
     pub p: usize,
+    /// The observability report emitted alongside the release
+    /// (`--trace-json`), when one is available. Passes that audit the
+    /// trace ([`TraceObs`]) are no-ops without it.
+    pub trace: Option<&'a TraceReport>,
 }
 
 /// An ordered collection of passes, run as one unit.
@@ -104,8 +110,8 @@ impl Registry {
 }
 
 /// The full built-in registry: config sanity, feasibility, coverage, QID
-/// fidelity, sensitive summaries, privacy degree, shard-merge integrity
-/// and band quality.
+/// fidelity, sensitive summaries, privacy degree, shard-merge integrity,
+/// band quality and trace-report integrity.
 pub fn default_registry() -> Registry {
     Registry::new()
         .register(ConfigSanity)
@@ -116,6 +122,7 @@ pub fn default_registry() -> Registry {
         .register(PrivacyDegree)
         .register(ShardMerge)
         .register(BandQuality)
+        .register(TraceObs)
 }
 
 #[cfg(test)]
@@ -152,6 +159,7 @@ mod tests {
             sensitive: sens,
             published: pub_,
             p,
+            trace: None,
         })
     }
 
@@ -160,7 +168,7 @@ mod tests {
         let (data, sens, pub_) = setup();
         let report = run(&data, &sens, &pub_, 2);
         assert!(report.is_clean(), "{}", report.render_human());
-        assert_eq!(report.passes_run.len(), 8);
+        assert_eq!(report.passes_run.len(), 9);
     }
 
     #[test]
@@ -289,6 +297,7 @@ mod tests {
             sensitive: &sens,
             published: &pub_,
             p: 2,
+            trace: None,
         });
         assert!(!report.is_clean());
         let msgs: Vec<&str> = report
@@ -312,6 +321,52 @@ mod tests {
     }
 
     #[test]
+    fn trace_pass_accepts_real_reports_and_flags_tampered_ones() {
+        use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+        use cahd_core::shard::ParallelConfig;
+        use cahd_obs::Recorder;
+        let (data, sens, _) = setup();
+        let rec = Recorder::new();
+        let res = Anonymizer::new(
+            AnonymizerConfig::with_privacy_degree(2).with_parallel(ParallelConfig::new(3, 2)),
+        )
+        .anonymize_traced(&data, &sens, &rec)
+        .unwrap();
+        let trace = res.trace.expect("traced run yields a report");
+        let report = default_registry().run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &res.published,
+            p: 2,
+            trace: Some(&trace),
+        });
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(report.passes_run.contains(&"trace-obs"));
+
+        // Tamper with the pivot accounting: one extra scanned pivot breaks
+        // both the counter identity and the histogram pairing.
+        let mut bad = trace.clone();
+        bad.counters
+            .iter_mut()
+            .find(|c| c.name == "core.pivots_scanned")
+            .expect("traced run scanned pivots")
+            .value += 1;
+        let report = Registry::new().register(TraceObs).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &res.published,
+            p: 2,
+            trace: Some(&bad),
+        });
+        assert!(!report.is_clean());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "CAHD-O001" && d.severity == Severity::Error));
+        assert!(report.diagnostics.len() >= 2, "{}", report.render_human());
+    }
+
+    #[test]
     fn custom_registry_runs_selected_passes_only() {
         let (data, sens, mut pub_) = setup();
         pub_.groups[0].qid_rows[0] = vec![3];
@@ -321,6 +376,7 @@ mod tests {
             sensitive: &sens,
             published: &pub_,
             p: 2,
+            trace: None,
         });
         // The QID tampering is invisible to the privacy pass.
         assert!(report.is_clean());

@@ -392,3 +392,121 @@ impl Pass for BandQuality {
         }
     }
 }
+
+/// `CAHD-O001`: observability-report integrity — an emitted
+/// [`cahd_obs::TraceReport`] (`--trace-json`) is internally coherent and
+/// its counters obey the engine's accounting identities.
+///
+/// Three layers of findings, all errors:
+///
+/// * **structural** — the report's own invariants
+///   ([`cahd_obs::TraceReport::consistency_findings`]): sorted unique
+///   sections, child spans summing to within their parent, histogram
+///   buckets summing to the recorded count;
+/// * **rooting** — a full pipeline report has no orphan spans
+///   ([`cahd_obs::TraceReport::orphan_spans`]); a parentless span means
+///   the file was truncated or stitched from partial runs;
+/// * **accounting** — counters that the engine defines as identities:
+///   every scanned pivot either formed a group, rolled back, or ran out
+///   of candidates; the merge cannot dissolve more groups than were
+///   formed; deterministic histogram *counts* match their driving
+///   counters (`core.candidate_list_len` ↔ `core.pivots_scanned`,
+///   `core.shard_scan_ns` ↔ the `core.shards` gauge, `eval.query_ns` ↔
+///   `eval.queries`).
+///
+/// A missing counter reads as zero (the recorder drops zero adds), so a
+/// trace from an untraced or partial run stays quiet. When
+/// [`CheckInput::trace`] is `None` the pass is a no-op.
+pub struct TraceObs;
+
+impl TraceObs {
+    fn balance(out: &mut Vec<Diagnostic>, message: String) {
+        out.push(Diagnostic::error("CAHD-O001", message));
+    }
+}
+
+impl Pass for TraceObs {
+    fn name(&self) -> &'static str {
+        "trace-obs"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-O001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "the emitted trace report is coherent and its counters balance"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(trace) = input.trace else {
+            return;
+        };
+        for finding in trace.consistency_findings() {
+            Self::balance(out, finding);
+        }
+        for orphan in trace.orphan_spans() {
+            Self::balance(
+                out,
+                format!("span `{orphan}` has no parent span in the report"),
+            );
+        }
+        let counter = |name: &str| trace.counter(name).unwrap_or(0);
+        let hist_count = |name: &str| trace.histogram(name).map_or(0, |h| h.count);
+
+        let pivots = counter("core.pivots_scanned");
+        let formed = counter("core.groups_formed");
+        let rollbacks = counter("core.rollbacks");
+        let starved = counter("core.insufficient_candidates");
+        if pivots != formed + rollbacks + starved {
+            Self::balance(
+                out,
+                format!(
+                    "pivot accounting broken: {pivots} pivots scanned, but {formed} groups formed \
+                     + {rollbacks} rollbacks + {starved} candidate shortfalls = {}",
+                    formed + rollbacks + starved
+                ),
+            );
+        }
+        let dissolved = counter("core.merge_dissolved");
+        if dissolved > formed {
+            Self::balance(
+                out,
+                format!("merge dissolved {dissolved} groups but only {formed} were formed"),
+            );
+        }
+        let cl = hist_count("core.candidate_list_len");
+        if cl != pivots {
+            Self::balance(
+                out,
+                format!(
+                    "histogram core.candidate_list_len has {cl} observations for {pivots} \
+                     scanned pivots"
+                ),
+            );
+        }
+        if let Some(shards) = trace.gauge("core.shards") {
+            let scans = hist_count("core.shard_scan_ns");
+            if scans as f64 != shards {
+                Self::balance(
+                    out,
+                    format!(
+                        "histogram core.shard_scan_ns has {scans} observations for a \
+                         {shards}-shard run"
+                    ),
+                );
+            }
+        }
+        let queries = counter("eval.queries");
+        let timed = hist_count("eval.query_ns");
+        if timed != queries {
+            Self::balance(
+                out,
+                format!(
+                    "histogram eval.query_ns has {timed} observations for {queries} evaluated \
+                     queries"
+                ),
+            );
+        }
+    }
+}

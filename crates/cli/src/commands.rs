@@ -14,7 +14,11 @@ use cahd_core::{verify_published, CahdConfig, PublishedDataset};
 use cahd_data::{
     io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
 };
-use cahd_eval::{evaluate_workload, generate_workload_seeded, reidentification_probability};
+use cahd_eval::{
+    evaluate_workload, evaluate_workload_traced, generate_workload_seeded,
+    reidentification_probability,
+};
+use cahd_obs::{Recorder, TraceReport};
 
 use crate::args::{Args, FlagSpec};
 use crate::CliError;
@@ -217,10 +221,20 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         name: "seed",
         takes_value: true,
     },
+    FlagSpec {
+        name: "trace-json",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "metrics",
+        takes_value: false,
+    },
 ];
 
 /// `anonymize <data.dat> --p P ...`: produce a release (JSON on disk or a
-/// summary on stdout).
+/// summary on stdout). With `--trace-json <path>` and/or `--metrics` the
+/// run is traced: the observability report is written as JSON and/or
+/// rendered to stdout (instrumented `cahd` method only).
 pub fn anonymize(args: &Args) -> Result<String, CliError> {
     let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
         if p == 0 {
@@ -230,13 +244,25 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
         }
     })?;
     let seed: u64 = args.parse_or("seed", 42)?;
+    let tracing = args.value("trace-json").is_some() || args.has("metrics");
     if args.has("weighted") {
+        if tracing {
+            return Err(CliError::Usage(
+                "--trace-json/--metrics are not supported with --weighted".into(),
+            ));
+        }
         return anonymize_weighted_cmd(args, p, seed);
     }
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
     let method = args.value("method").unwrap_or("cahd");
+    if tracing && method != "cahd" {
+        return Err(CliError::Usage(format!(
+            "--trace-json/--metrics require the instrumented cahd method, not {method:?}"
+        )));
+    }
 
+    let mut trace: Option<TraceReport> = None;
     let mut published: PublishedDataset = match method {
         "cahd" => {
             let mut cfg = AnonymizerConfig::with_privacy_degree(p);
@@ -249,7 +275,14 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
             if shards > 1 || threads > 1 {
                 cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
             }
-            Anonymizer::new(cfg).anonymize(&data, &sensitive)?.published
+            let rec = if tracing {
+                Recorder::new()
+            } else {
+                Recorder::disabled()
+            };
+            let res = Anonymizer::new(cfg).anonymize_traced(&data, &sensitive, &rec)?;
+            trace = res.trace;
+            res.published
         }
         "pm" => perm_mondrian(&data, &sensitive, &PmConfig::new(p))?.0,
         "random" => random_grouping(&data, &sensitive, p, seed)?,
@@ -277,6 +310,15 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.value("out") {
         std::fs::write(path, serde_json::to_string(&to_write)?)?;
         out.push_str(&format!("release written to {path}\n"));
+    }
+    if let Some(trace) = &trace {
+        if let Some(path) = args.value("trace-json") {
+            std::fs::write(path, serde_json::to_string_pretty(trace)?)?;
+            out.push_str(&format!("trace written to {path}\n"));
+        }
+        if args.has("metrics") {
+            out.push_str(&trace.render_human());
+        }
     }
     Ok(out)
 }
@@ -376,22 +418,37 @@ pub const CHECK_FLAGS: &[FlagSpec] = &[
         name: "json",
         takes_value: false,
     },
+    FlagSpec {
+        name: "trace",
+        takes_value: true,
+    },
 ];
 
-/// `check <data.dat> <release.json> --p P [--json]`: run the full
-/// `cahd-check` pass registry and report every diagnostic (the fail-fast
-/// alternative is `verify`). Error-severity findings make the command fail
-/// after the report is printed.
+/// `check <data.dat> <release.json> --p P [--json] [--trace trace.json]`:
+/// run the full `cahd-check` pass registry and report every diagnostic
+/// (the fail-fast alternative is `verify`). With `--trace` the
+/// observability report emitted by `anonymize --trace-json` is audited by
+/// the `CAHD-O001` pass as well. Error-severity findings make the command
+/// fail after the report is printed.
 pub fn check(args: &Args) -> Result<String, CliError> {
     let data = load(args.positional(0, "data.dat")?)?;
     let release = load_release(args.positional(1, "release.json")?)?;
     let p: usize = args.parse_or("p", 2)?;
+    let trace: Option<TraceReport> = match args.value("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read {path}: {e}")))?;
+            Some(serde_json::from_str(&text)?)
+        }
+        None => None,
+    };
     let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
     let report = cahd_check::default_registry().run(&cahd_check::CheckInput {
         data: &data,
         sensitive: &sensitive,
         published: &release,
         p,
+        trace: trace.as_ref(),
     });
     let out = if args.has("json") {
         format!("{}\n", serde_json::to_string(&report)?)
@@ -440,6 +497,132 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
         "reconstruction error over {} queries (r = {r}): mean KL {:.4}, median {:.4}, max {:.4}, std {:.4}\n",
         s.n_queries, s.mean_kl, s.median_kl, s.max_kl, s.std_kl
     ))
+}
+
+/// Flags accepted by [`profile`].
+pub const PROFILE_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "p",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "sensitive",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "random-m",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "alpha",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "no-rcm",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "shards",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "threads",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "r",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "queries",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "trace-json",
+        takes_value: true,
+    },
+];
+
+/// `profile <data.dat> --p P ...`: run the traced pipeline plus a traced
+/// query workload, self-check the combined report with the `CAHD-O001`
+/// pass, and print the human rendering (span tree, counters, gauges,
+/// histogram digests). `--trace-json <path>` additionally writes the raw
+/// report.
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
+        if p == 0 {
+            Err(CliError::Usage("--p <degree> is required".into()))
+        } else {
+            Ok(p)
+        }
+    })?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let data = load(args.positional(0, "data.dat")?)?;
+    let sensitive = sensitive_from_args(args, &data, p, seed)?;
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    cfg.cahd = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+    if args.has("no-rcm") {
+        cfg = cfg.without_rcm();
+    }
+    let shards: usize = args.parse_or("shards", 1)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    if shards > 1 || threads > 1 {
+        cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
+    }
+
+    let rec = Recorder::new();
+    let res = Anonymizer::new(cfg).anonymize_traced(&data, &sensitive, &rec)?;
+    verify_published(&data, &sensitive, &res.published, p)
+        .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
+
+    let r: usize = args.parse_or("r", 4)?;
+    let n_queries: usize = args.parse_or("queries", 50)?;
+    let queries = generate_workload_seeded(&data, &sensitive, r, n_queries, seed);
+    let summary = (!queries.is_empty())
+        .then(|| evaluate_workload_traced(&data, &res.published, &queries, &rec));
+
+    // One combined report for pipeline + workload; audit it before
+    // presenting — a profile that fails its own accounting is a bug.
+    let trace = rec.snapshot();
+    let audit = cahd_check::Registry::new()
+        .register(cahd_check::TraceObs)
+        .run(&cahd_check::CheckInput {
+            data: &data,
+            sensitive: &sensitive,
+            published: &res.published,
+            p,
+            trace: Some(&trace),
+        });
+    if !audit.is_clean() {
+        return Err(CliError::Run(format!(
+            "internal error: trace report failed its own CAHD-O001 audit:\n{}",
+            audit.render_human()
+        )));
+    }
+
+    let mut out = format!(
+        "profile: p {p}, {} groups over {} transactions, pipeline {:.1} ms\n",
+        res.published.n_groups(),
+        data.n_transactions(),
+        res.total_time.as_secs_f64() * 1e3,
+    );
+    if let Some(s) = summary {
+        out.push_str(&format!(
+            "workload: {} queries (r = {r}), mean KL {:.4}\n",
+            s.n_queries, s.mean_kl
+        ));
+    }
+    out.push('\n');
+    out.push_str(&trace.render_human());
+    if let Some(path) = args.value("trace-json") {
+        std::fs::write(path, serde_json::to_string_pretty(&trace)?)?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
 }
 
 fn sensitive_from_args(
@@ -795,6 +978,111 @@ mod tests {
         assert!(out.contains("CAHD-Q001"), "{out}");
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn traced_anonymize_check_and_profile_flow() {
+        let data_f = tmp("trace.dat");
+        let rel_f = tmp("trace_rel.json");
+        let trace_f = tmp("trace_report.json");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "400",
+                "--items",
+                "60",
+                "--seed",
+                "13",
+            ],
+        ))
+        .unwrap();
+        let out = anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[
+                &data_f,
+                "--p",
+                "5",
+                "--random-m",
+                "4",
+                "--shards",
+                "4",
+                "--threads",
+                "2",
+                "--out",
+                &rel_f,
+                "--trace-json",
+                &trace_f,
+                "--metrics",
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        assert!(out.contains("core.groups_formed"), "{out}");
+        // The emitted report round-trips and passes the CAHD-O001 audit.
+        let trace: TraceReport =
+            serde_json::from_str(&std::fs::read_to_string(&trace_f).unwrap()).unwrap();
+        assert!(trace.span("pipeline/group/merge").is_some());
+        let ok = check(&parse(
+            CHECK_FLAGS,
+            &[&data_f, &rel_f, "--p", "5", "--trace", &trace_f],
+        ))
+        .unwrap();
+        assert!(ok.contains("check: PASS"), "{ok}");
+        // A truncated trace (merge span gone, counters kept) fails it.
+        let mut bad = trace.clone();
+        bad.spans.retain(|s| s.path != "pipeline/group");
+        std::fs::write(&trace_f, serde_json::to_string(&bad).unwrap()).unwrap();
+        let err = check(&parse(
+            CHECK_FLAGS,
+            &[&data_f, &rel_f, "--p", "5", "--trace", &trace_f],
+        ));
+        let Err(CliError::Check(out)) = err else {
+            panic!("expected CliError::Check, got {err:?}");
+        };
+        assert!(out.contains("CAHD-O001"), "{out}");
+        // Tracing an uninstrumented baseline is a usage error.
+        assert!(matches!(
+            anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    &data_f,
+                    "--p",
+                    "5",
+                    "--random-m",
+                    "4",
+                    "--method",
+                    "pm",
+                    "--metrics"
+                ],
+            )),
+            Err(CliError::Usage(_))
+        ));
+        // The profile subcommand self-checks and renders the span tree.
+        let prof = profile(&parse(
+            PROFILE_FLAGS,
+            &[
+                &data_f,
+                "--p",
+                "5",
+                "--random-m",
+                "4",
+                "--shards",
+                "3",
+                "--threads",
+                "2",
+            ],
+        ))
+        .unwrap();
+        assert!(prof.contains("profile: p 5"), "{prof}");
+        assert!(prof.contains("spans:") && prof.contains("merge"), "{prof}");
+        assert!(prof.contains("eval.queries"), "{prof}");
+        for f in [&data_f, &rel_f, &trace_f] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

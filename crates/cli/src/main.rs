@@ -19,12 +19,18 @@ usage:
                      [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
                      [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
+                     [--trace-json trace.json] [--metrics]  (observability)
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>
   cahd-cli verify    <data.dat> <release.json> --p P
   cahd-cli check     <data.dat> <release.json> --p P [--json]
+                     [--trace trace.json]  (audit a --trace-json report too)
                      (all diagnostics in one run; see docs/CHECKS.md)
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
+  cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
+                     [--alpha A] [--no-rcm] [--shards K] [--threads T]
+                     [--r R] [--queries N] [--seed N] [--trace-json trace.json]
+                     (traced pipeline + workload; see docs/OBSERVABILITY.md)
 ";
 
 fn main() -> ExitCode {
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
         "evaluate" => {
             Args::parse(rest, commands::EVALUATE_FLAGS).and_then(|a| commands::evaluate(&a))
         }
+        "profile" => Args::parse(rest, commands::PROFILE_FLAGS).and_then(|a| commands::profile(&a)),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -23,6 +23,7 @@
 use std::time::{Duration, Instant};
 
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+use cahd_obs::Recorder;
 
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
@@ -125,6 +126,19 @@ pub fn cahd(
     sensitive: &SensitiveSet,
     config: &CahdConfig,
 ) -> Result<(PublishedDataset, CahdStats), CahdError> {
+    cahd_traced(data, sensitive, config, &Recorder::disabled())
+}
+
+/// Like [`cahd`], recording the group-formation phase into `rec`: the span
+/// `pipeline/group`, the scheduling-invariant `core.*` counters of the
+/// engine (see [`form_groups`]), and the counter
+/// `core.fallback_group_size` (size of the final leftover group).
+pub fn cahd_traced(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    config: &CahdConfig,
+    rec: &Recorder,
+) -> Result<(PublishedDataset, CahdStats), CahdError> {
     config.validate()?;
     let n = data.n_transactions();
     if sensitive.n_items() != data.n_items() {
@@ -133,6 +147,7 @@ pub fn cahd(
             sensitive_items: sensitive.n_items(),
         });
     }
+    let _group_span = rec.span("pipeline/group");
     let t_start = Instant::now();
 
     // Split every transaction into QID items and sensitive ranks once.
@@ -154,7 +169,9 @@ pub fn cahd(
         config,
         |t, cl, out| scorer.score(t, cl, out),
         FeasibilityCheck::Enforce,
+        rec,
     )?;
+    rec.add("core.fallback_group_size", formed.leftover.len() as u64);
 
     let mut groups: Vec<AnonymizedGroup> = formed
         .groups
@@ -253,6 +270,17 @@ pub(crate) struct FormedGroups {
 /// candidate (higher = more similar QID). `sens_of` maps each transaction
 /// to its sensitive-item ranks; `initial_counts` is the per-rank occurrence
 /// histogram; `sens_items` names the items for error reporting.
+///
+/// Records into `rec` — all scheduling-invariant, accumulated locally and
+/// merged under one lock at the end so the hot loop never contends:
+///
+/// * counters `core.pivots_scanned` (sensitive pivots whose candidate list
+///   was built; always `groups_formed + rollbacks +
+///   insufficient_candidates`), `core.groups_formed`, `core.rollbacks`,
+///   `core.insufficient_candidates`, `core.candidates_scanned`;
+/// * histogram `core.candidate_list_len` (one observation per scanned
+///   pivot).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn form_groups(
     n: usize,
     sens_of: &[Vec<usize>],
@@ -261,6 +289,7 @@ pub(crate) fn form_groups(
     config: &CahdConfig,
     mut score: impl FnMut(usize, &[usize], &mut Vec<u64>),
     feasibility: FeasibilityCheck,
+    rec: &Recorder,
 ) -> Result<FormedGroups, CahdError> {
     config.validate()?;
     if n == 0 {
@@ -294,6 +323,9 @@ pub(crate) fn form_groups(
     let mut scores: Vec<u64> = Vec::new();
     let mut scored: Vec<(u64, usize, usize)> = Vec::new();
     let limit = config.alpha * p;
+    let mut pivots_scanned = 0u64;
+    let mut cl_len_hist = cahd_obs::Histogram::new();
+    let trace_on = rec.is_enabled();
 
     for t in 0..n {
         if !order.is_alive(t) || sens_of[t].is_empty() {
@@ -334,6 +366,10 @@ pub(crate) fn form_groups(
         walk(order.prev(t), true, &mut cl, &mut conflict_stamp, &order);
         walk(order.next(t), false, &mut cl, &mut conflict_stamp, &order);
         stats.candidates_considered += cl.len() as u64;
+        pivots_scanned += 1;
+        if trace_on {
+            cl_len_hist.observe(cl.len() as u64);
+        }
 
         if cl.len() < p - 1 {
             stats.insufficient_candidates += 1;
@@ -399,6 +435,17 @@ pub(crate) fn form_groups(
         "order list and histogram bookkeeping must agree"
     );
     stats.fallback_group_size = leftover.len();
+    if trace_on {
+        rec.add("core.pivots_scanned", pivots_scanned);
+        rec.add("core.groups_formed", stats.groups_formed as u64);
+        rec.add("core.rollbacks", stats.rollbacks as u64);
+        rec.add(
+            "core.insufficient_candidates",
+            stats.insufficient_candidates as u64,
+        );
+        rec.add("core.candidates_scanned", stats.candidates_considered);
+        rec.record_histogram("core.candidate_list_len", &cl_len_hist);
+    }
     Ok(FormedGroups {
         groups,
         leftover,

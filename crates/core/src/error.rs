@@ -3,6 +3,32 @@
 use std::fmt;
 
 /// Errors reported by the CAHD algorithm and the pipeline around it.
+///
+/// # Reporting precedence
+///
+/// When an input is degenerate in several ways at once, every entry point
+/// ([`crate::cahd::cahd`], [`crate::shard::cahd_sharded`],
+/// [`crate::weighted::cahd_weighted`], and the traced variants) reports
+/// errors in this fixed order:
+///
+/// 1. **parameter errors** — [`InvalidPrivacyDegree`] before
+///    [`InvalidAlpha`] (both from [`crate::CahdConfig::validate`]); a
+///    caller always learns about a bad config first, even on an empty
+///    dataset;
+/// 2. [`UniverseMismatch`] — the dataset and sensitive set disagree on the
+///    item universe, so no shape question about the data is meaningful;
+/// 3. [`EmptyDataset`];
+/// 4. [`Infeasible`] — parameters and shapes are fine, but no degree-`p`
+///    partition exists.
+///
+/// So `p == 0` on an empty dataset yields [`InvalidPrivacyDegree`], not
+/// [`EmptyDataset`] — the precedence test in this module pins it.
+///
+/// [`InvalidPrivacyDegree`]: CahdError::InvalidPrivacyDegree
+/// [`InvalidAlpha`]: CahdError::InvalidAlpha
+/// [`UniverseMismatch`]: CahdError::UniverseMismatch
+/// [`EmptyDataset`]: CahdError::EmptyDataset
+/// [`Infeasible`]: CahdError::Infeasible
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CahdError {
     /// No partitioning with the requested privacy degree exists: some
@@ -68,6 +94,55 @@ impl std::error::Error for CahdError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cahd::{cahd, CahdConfig};
+    use crate::shard::{cahd_sharded, ParallelConfig};
+    use cahd_data::{SensitiveSet, TransactionSet};
+
+    /// Pins the documented reporting precedence on inputs that are
+    /// degenerate in several ways at once.
+    #[test]
+    fn parameter_errors_precede_dataset_shape_errors() {
+        let empty = TransactionSet::from_rows(&[], 3);
+        let sens = SensitiveSet::new(vec![2], 3);
+        let mismatched = SensitiveSet::new(vec![1], 2);
+
+        // p == 0 AND alpha == 0 AND empty dataset: p wins, then alpha.
+        let bad_both = CahdConfig::new(0).with_alpha(0);
+        assert_eq!(
+            cahd(&empty, &sens, &bad_both),
+            Err(CahdError::InvalidPrivacyDegree(0))
+        );
+        assert_eq!(
+            cahd(&empty, &sens, &CahdConfig::new(2).with_alpha(0)),
+            Err(CahdError::InvalidAlpha(0))
+        );
+        // Universe mismatch AND empty dataset: mismatch wins.
+        assert_eq!(
+            cahd(&empty, &mismatched, &CahdConfig::new(2)),
+            Err(CahdError::UniverseMismatch {
+                data_items: 3,
+                sensitive_items: 2,
+            })
+        );
+        // Only then is the empty dataset itself reported.
+        assert_eq!(
+            cahd(&empty, &sens, &CahdConfig::new(2)),
+            Err(CahdError::EmptyDataset)
+        );
+        // The sharded entry point orders identically.
+        let par = ParallelConfig::new(4, 2);
+        assert_eq!(
+            cahd_sharded(&empty, &sens, &bad_both, &par),
+            Err(CahdError::InvalidPrivacyDegree(0))
+        );
+        assert_eq!(
+            cahd_sharded(&empty, &mismatched, &CahdConfig::new(2), &par),
+            Err(CahdError::UniverseMismatch {
+                data_items: 3,
+                sensitive_items: 2,
+            })
+        );
+    }
 
     #[test]
     fn display_messages() {

@@ -56,13 +56,13 @@ pub mod suppress;
 pub mod verify;
 pub mod weighted;
 
-pub use cahd::{cahd, CahdConfig, CahdStats};
+pub use cahd::{cahd, cahd_traced, CahdConfig, CahdStats};
 pub use diversity::{privacy_report, PrivacyReport};
 pub use error::CahdError;
 pub use group::{AnonymizedGroup, PublishedDataset};
 pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult};
 pub use refine::{intra_group_overlap, refine_groups, RefineStats};
-pub use shard::{cahd_sharded, ParallelConfig, ShardedStats};
+pub use shard::{cahd_sharded, cahd_sharded_traced, ParallelConfig, ShardedStats};
 pub use streaming::{ReleaseChunk, StreamingAnonymizer};
 pub use suppress::{enforce_feasibility, SuppressionReport};
 pub use verify::{verify_all, verify_published, VerificationError};

@@ -4,12 +4,13 @@
 use std::time::{Duration, Instant};
 
 use cahd_data::{SensitiveSet, TransactionSet};
-use cahd_rcm::{reduce_unsymmetric, BandReduction, UnsymOptions};
+use cahd_obs::{Recorder, TraceReport};
+use cahd_rcm::{reduce_unsymmetric_traced, BandReduction, UnsymOptions};
 
-use crate::cahd::{cahd, CahdConfig, CahdStats};
+use crate::cahd::{cahd_traced, CahdConfig, CahdStats};
 use crate::error::CahdError;
 use crate::group::PublishedDataset;
-use crate::shard::{cahd_sharded, ParallelConfig, ShardedStats};
+use crate::shard::{cahd_sharded_traced, ParallelConfig, ShardedStats};
 
 /// Configuration of the full pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +71,10 @@ pub struct PipelineResult {
     pub rcm_time: Duration,
     /// Wall-clock time of the whole pipeline.
     pub total_time: Duration,
+    /// The observability snapshot, present when the run was traced via
+    /// [`Anonymizer::anonymize_traced`] with an enabled recorder. See
+    /// `docs/OBSERVABILITY.md` for the span taxonomy and counter glossary.
+    pub trace: Option<TraceReport>,
 }
 
 /// The reusable pipeline object.
@@ -95,9 +100,31 @@ impl Anonymizer {
         data: &TransactionSet,
         sensitive: &SensitiveSet,
     ) -> Result<PipelineResult, CahdError> {
+        self.anonymize_traced(data, sensitive, &Recorder::disabled())
+    }
+
+    /// Like [`Anonymizer::anonymize`], recording the run into `rec` and
+    /// snapshotting it into [`PipelineResult::trace`] (left `None` when
+    /// `rec` is disabled — the plain entry point pays nothing for the
+    /// instrumentation).
+    ///
+    /// The recorded span tree is rooted at `pipeline` with children
+    /// `pipeline/rcm` (and its sub-phases, see
+    /// [`reduce_unsymmetric_traced`]), `pipeline/permute`,
+    /// `pipeline/group` (see [`cahd_traced`] / [`cahd_sharded_traced`])
+    /// and `pipeline/unpermute`; direct children always sum to within the
+    /// `pipeline` total, which the `CAHD-O001` check pass enforces.
+    pub fn anonymize_traced(
+        &self,
+        data: &TransactionSet,
+        sensitive: &SensitiveSet,
+        rec: &Recorder,
+    ) -> Result<PipelineResult, CahdError> {
         let t0 = Instant::now();
+        let pipeline_span = rec.span("pipeline");
         let (band, work): (Option<BandReduction>, TransactionSet) = if self.config.use_rcm {
-            let red = reduce_unsymmetric(data.matrix(), self.config.rcm);
+            let red = reduce_unsymmetric_traced(data.matrix(), self.config.rcm, rec);
+            let _s = rec.span("pipeline/permute");
             let permuted = data.permute(&red.row_perm);
             (Some(red), permuted)
         } else {
@@ -106,22 +133,29 @@ impl Anonymizer {
         let rcm_time = band.as_ref().map(|b| b.rcm_time).unwrap_or_default();
 
         let (mut published, cahd_stats, sharded_stats) = if self.config.parallel.is_sequential() {
-            let (published, stats) = cahd(&work, sensitive, &self.config.cahd)?;
+            let (published, stats) = cahd_traced(&work, sensitive, &self.config.cahd, rec)?;
             (published, stats, None)
         } else {
-            let (published, sharded) =
-                cahd_sharded(&work, sensitive, &self.config.cahd, &self.config.parallel)?;
+            let (published, sharded) = cahd_sharded_traced(
+                &work,
+                sensitive,
+                &self.config.cahd,
+                &self.config.parallel,
+                rec,
+            )?;
             (published, sharded.cahd, Some(sharded))
         };
 
         // Map group members back to original transaction indices.
         if let Some(red) = &band {
+            let _s = rec.span("pipeline/unpermute");
             for g in &mut published.groups {
                 for m in &mut g.members {
                     *m = red.row_perm.new_to_old(*m as usize) as u32;
                 }
             }
         }
+        drop(pipeline_span);
 
         Ok(PipelineResult {
             published,
@@ -130,6 +164,7 @@ impl Anonymizer {
             band,
             rcm_time,
             total_time: t0.elapsed(),
+            trace: rec.is_enabled().then(|| rec.snapshot()),
         })
     }
 }
@@ -202,6 +237,62 @@ mod tests {
         verify_published(&data, &sens, &res.published, 2).unwrap();
         assert!(res.band.is_none());
         assert_eq!(res.rcm_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_run_produces_coherent_nested_report() {
+        let (data, sens) = block_data();
+        for parallel in [ParallelConfig::sequential(), ParallelConfig::new(4, 2)] {
+            let rec = Recorder::new();
+            let res =
+                Anonymizer::new(AnonymizerConfig::with_privacy_degree(2).with_parallel(parallel))
+                    .anonymize_traced(&data, &sens, &rec)
+                    .unwrap();
+            verify_published(&data, &sens, &res.published, 2).unwrap();
+            let trace = res.trace.expect("enabled recorder yields a trace");
+            assert!(
+                trace.consistency_findings().is_empty(),
+                "{:?}",
+                trace.consistency_findings()
+            );
+            assert!(
+                trace.orphan_spans().is_empty(),
+                "{:?}",
+                trace.orphan_spans()
+            );
+            // The root span covers its children and the phase spans exist.
+            let root = trace.span("pipeline").expect("root span");
+            let children_ns: u64 = trace
+                .span_children("pipeline")
+                .iter()
+                .map(|s| s.total_ns)
+                .sum();
+            assert!(children_ns <= root.total_ns);
+            for path in ["pipeline/rcm", "pipeline/permute", "pipeline/group"] {
+                assert!(trace.span(path).is_some(), "missing {path}");
+            }
+            // Engine counters agree with the returned stats.
+            assert_eq!(
+                trace.counter("core.groups_formed").unwrap_or(0),
+                res.cahd_stats.groups_formed as u64
+            );
+            assert_eq!(
+                trace.counter("core.pivots_scanned").unwrap_or(0),
+                trace.counter("core.groups_formed").unwrap_or(0)
+                    + trace.counter("core.rollbacks").unwrap_or(0)
+                    + trace.counter("core.insufficient_candidates").unwrap_or(0)
+            );
+            if !parallel.is_sequential() {
+                let scans = trace.histogram("core.shard_scan_ns").expect("shard hist");
+                assert_eq!(scans.count as usize, res.sharded_stats.unwrap().shards);
+                assert!(trace.span("pipeline/group/merge").is_some());
+            }
+        }
+        // The untraced entry point carries no trace.
+        let res = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2))
+            .anonymize(&data, &sens)
+            .unwrap();
+        assert!(res.trace.is_none());
     }
 
     #[test]

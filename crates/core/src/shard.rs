@@ -37,7 +37,7 @@
 //! (`support(s) * p <= n`, checked up front) guarantees termination.
 //!
 //! With `shards = 1` the computation is the sequential scan of
-//! [`cahd`] and produces byte-identical output. With any shard count the
+//! [`cahd`](crate::cahd::cahd) and produces byte-identical output. With any shard count the
 //! output is independent of `threads` — workers only decide *when* a
 //! shard is computed, never *what* it computes.
 
@@ -46,9 +46,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+use cahd_obs::{Histogram, Recorder};
 
 use crate::cahd::{
-    cahd, form_groups, make_group, CahdConfig, CahdStats, FeasibilityCheck, QidOverlapScorer,
+    cahd_traced, form_groups, make_group, CahdConfig, CahdStats, FeasibilityCheck, QidOverlapScorer,
 };
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
@@ -119,6 +120,10 @@ struct ShardOutcome {
     groups: Vec<Vec<usize>>,
     leftover: Vec<usize>,
     stats: CahdStats,
+    /// Wall-clock nanoseconds the shard's scan took (on whichever worker
+    /// ran it — a scheduling-dependent measurement, reported through the
+    /// `core.shard_scan_ns` histogram, never a counter).
+    scan_ns: u64,
 }
 
 /// Runs CAHD on `data` (assumed band-ordered) split into
@@ -128,7 +133,7 @@ struct ShardOutcome {
 ///
 /// The output is a deterministic function of `(data, sensitive, cahd
 /// config, shards)` — thread count never changes it — and `shards = 1`
-/// is byte-identical to [`cahd`]. Errors exactly as [`cahd`] does:
+/// is byte-identical to [`cahd`](crate::cahd::cahd). Errors exactly as [`cahd`](crate::cahd::cahd) does:
 /// degenerate parameters, empty dataset, universe mismatch, or global
 /// infeasibility (`support(s) * p > n`).
 pub fn cahd_sharded(
@@ -136,6 +141,29 @@ pub fn cahd_sharded(
     sensitive: &SensitiveSet,
     config: &CahdConfig,
     parallel: &ParallelConfig,
+) -> Result<(PublishedDataset, ShardedStats), CahdError> {
+    cahd_sharded_traced(data, sensitive, config, parallel, &Recorder::disabled())
+}
+
+/// Like [`cahd_sharded`], recording the group-formation phase into `rec`:
+///
+/// * spans `pipeline/group` (whole phase) and `pipeline/group/merge` (the
+///   deterministic merge plus the dissolve repair loop), both on the
+///   calling thread;
+/// * the scheduling-invariant `core.*` engine counters of
+///   [`form_groups`], summed over shards (sums commute, so the totals are
+///   independent of which worker ran which shard), plus
+///   `core.merge_dissolved` and `core.fallback_group_size`;
+/// * histogram `core.shard_scan_ns` — one observation per shard with its
+///   scan wall-clock (values are scheduling-dependent; the *count* is
+///   always the shard count);
+/// * gauges `core.shards` and `core.threads` (the effective layout).
+pub fn cahd_sharded_traced(
+    data: &TransactionSet,
+    sensitive: &SensitiveSet,
+    config: &CahdConfig,
+    parallel: &ParallelConfig,
+    rec: &Recorder,
 ) -> Result<(PublishedDataset, ShardedStats), CahdError> {
     config.validate()?;
     let n = data.n_transactions();
@@ -152,7 +180,7 @@ pub fn cahd_sharded(
     if k == 1 {
         // Delegate to the sequential entry point: same engine, same
         // output bytes, and the equivalence property test pins it.
-        let (published, stats) = cahd(data, sensitive, config)?;
+        let (published, stats) = cahd_traced(data, sensitive, config, rec)?;
         let sharded = ShardedStats {
             shard_groups: vec![stats.groups_formed],
             cahd: stats,
@@ -163,6 +191,9 @@ pub fn cahd_sharded(
         return Ok((published, sharded));
     }
     let threads = parallel.threads.max(1).min(k);
+    let _group_span = rec.span("pipeline/group");
+    rec.gauge("core.shards", k as f64);
+    rec.gauge("core.threads", threads as f64);
     let t_start = Instant::now();
     let p = config.p;
 
@@ -194,6 +225,7 @@ pub fn cahd_sharded(
     let bounds: Vec<(usize, usize)> = (0..k).map(|i| (i * n / k, (i + 1) * n / k)).collect();
 
     let run_shard = |i: usize| -> Result<ShardOutcome, CahdError> {
+        let t_shard = Instant::now();
         let (lo, hi) = bounds[i];
         let shard_sens = &sens_of[lo..hi];
         let mut shard_counts = vec![0usize; sensitive.len()];
@@ -211,11 +243,13 @@ pub fn cahd_sharded(
             config,
             |t, cl, out| scorer.score(t, cl, out),
             FeasibilityCheck::Skip,
+            rec,
         )?;
         Ok(ShardOutcome {
             groups: formed.groups,
             leftover: formed.leftover,
             stats: formed.stats,
+            scan_ns: u64::try_from(t_shard.elapsed().as_nanos()).unwrap_or(u64::MAX),
         })
     };
 
@@ -249,6 +283,8 @@ pub fn cahd_sharded(
     };
 
     // --- Deterministic merge: groups in shard order, leftovers pooled. ---
+    let merge_span = rec.span("pipeline/group/merge");
+    let mut scan_hist = Histogram::new();
     let mut member_groups: Vec<Vec<usize>> = Vec::new();
     let mut leftover: Vec<usize> = Vec::new();
     let mut stats = ShardedStats {
@@ -259,6 +295,7 @@ pub fn cahd_sharded(
     };
     for (outcome, &(lo, _)) in outcomes.into_iter().zip(&bounds) {
         let out = outcome?;
+        scan_hist.observe(out.scan_ns);
         stats.shard_groups.push(out.stats.groups_formed);
         stats.cahd.groups_formed += out.stats.groups_formed;
         stats.cahd.rollbacks += out.stats.rollbacks;
@@ -298,6 +335,10 @@ pub fn cahd_sharded(
     }
     leftover.sort_unstable();
     stats.cahd.fallback_group_size = leftover.len();
+    rec.record_histogram("core.shard_scan_ns", &scan_hist);
+    rec.add("core.merge_dissolved", stats.merge_dissolved as u64);
+    rec.add("core.fallback_group_size", leftover.len() as u64);
+    drop(merge_span);
 
     let mut groups: Vec<AnonymizedGroup> = member_groups
         .iter()
@@ -328,6 +369,7 @@ pub fn cahd_sharded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cahd::cahd;
     use crate::verify::verify_published;
 
     fn blocky(n_blocks: usize, rows_per_block: usize) -> (TransactionSet, SensitiveSet) {

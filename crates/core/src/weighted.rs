@@ -182,6 +182,7 @@ pub fn cahd_weighted(
         config,
         scorer,
         FeasibilityCheck::Enforce,
+        &cahd_obs::Recorder::disabled(),
     )?;
 
     let make = |members: &[usize]| -> WeightedGroup {

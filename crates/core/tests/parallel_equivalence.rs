@@ -96,6 +96,7 @@ proptest! {
             sensitive: &sens,
             published: &published,
             p: cfg.p,
+            trace: None,
         });
         prop_assert!(
             report.is_clean(),

@@ -180,6 +180,7 @@ proptest! {
                     sensitive: &sens,
                     published: $published,
                     p,
+                    trace: None,
                 });
                 prop_assert!(report.is_clean(), "{}:\n{}", $what, report.render_human());
             }};

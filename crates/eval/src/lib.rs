@@ -42,6 +42,6 @@ pub use reconstruct::{actual_pdf, estimated_pdf};
 pub use reident::reidentification_probability;
 pub use rules::{confidence_error, mine_rules, published_confidence, AssociationRule};
 pub use runner::{
-    average_relative_error, evaluate_workload, evaluate_workload_threaded, workload_kls,
-    ReconstructionSummary,
+    average_relative_error, evaluate_workload, evaluate_workload_threaded,
+    evaluate_workload_traced, workload_kls, ReconstructionSummary,
 };

@@ -43,15 +43,41 @@ pub fn evaluate_workload(
     published: &PublishedDataset,
     queries: &[GroupByQuery],
 ) -> ReconstructionSummary {
+    evaluate_workload_traced(data, published, queries, &cahd_obs::Recorder::disabled())
+}
+
+/// Like [`evaluate_workload`], recording per-query KL timing into `rec`:
+/// the root span `eval`, the scheduling-invariant counters
+/// `eval.queries` (evaluated) and `eval.queries_skipped`, and the
+/// histogram `eval.query_ns` (one observation per evaluated query; its
+/// count always equals `eval.queries`).
+pub fn evaluate_workload_traced(
+    data: &TransactionSet,
+    published: &PublishedDataset,
+    queries: &[GroupByQuery],
+    rec: &cahd_obs::Recorder,
+) -> ReconstructionSummary {
+    let _span = rec.span("eval");
+    let trace_on = rec.is_enabled();
+    let mut query_ns = cahd_obs::Histogram::new();
     let mut kls: Vec<f64> = Vec::with_capacity(queries.len());
     let mut skipped = 0usize;
     for q in queries {
+        let t0 = trace_on.then(std::time::Instant::now);
         match (actual_pdf(data, q), estimated_pdf(published, q)) {
             (Some(act), Some(est)) => {
                 kls.push(kl_divergence(&act, &est, DEFAULT_SMOOTHING));
+                if let Some(t0) = t0 {
+                    query_ns.observe(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
             }
             _ => skipped += 1,
         }
+    }
+    if trace_on {
+        rec.add("eval.queries", kls.len() as u64);
+        rec.add("eval.queries_skipped", skipped as u64);
+        rec.record_histogram("eval.query_ns", &query_ns);
     }
     summarize(&mut kls, skipped)
 }
@@ -289,6 +315,26 @@ mod tests {
         assert_eq!(empty.n_queries, 0);
         let zero = evaluate_workload_threaded(&data, &good, &queries, 0);
         assert_eq!(zero, evaluate_workload(&data, &good, &queries));
+    }
+
+    #[test]
+    fn traced_evaluation_matches_and_records() {
+        let (data, _, good, _) = setup();
+        let queries = vec![
+            GroupByQuery::new(4, vec![0]),
+            GroupByQuery::new(3, vec![0]), // absent -> skipped
+        ];
+        let rec = cahd_obs::Recorder::new();
+        let traced = evaluate_workload_traced(&data, &good, &queries, &rec);
+        assert_eq!(traced, evaluate_workload(&data, &good, &queries));
+        let report = rec.snapshot();
+        assert_eq!(report.counter("eval.queries"), Some(1));
+        assert_eq!(report.counter("eval.queries_skipped"), Some(1));
+        let h = report.histogram("eval.query_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(report.span("eval").is_some());
+        assert!(report.orphan_spans().is_empty());
+        assert!(report.consistency_findings().is_empty());
     }
 
     #[test]

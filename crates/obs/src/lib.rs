@@ -1,0 +1,790 @@
+//! `cahd-obs` — first-party observability for the CAHD stack.
+//!
+//! The paper's evaluation (Figures 6–12) is entirely about *measured*
+//! behavior: CAHD runtime versus the privacy degree `p`, the candidate-list
+//! factor `alpha`, and the reconstruction-error trade-off. This crate gives
+//! the pipeline the instruments to produce those measurements from a normal
+//! run instead of ad-hoc stopwatch code:
+//!
+//! * [`Recorder`] — a thread-safe sink for spans, counters, gauges and
+//!   histograms. A *disabled* recorder ([`Recorder::disabled`]) carries no
+//!   allocation and every operation is a branch on `None`, so instrumented
+//!   hot paths cost nothing when tracing is off.
+//! * [`Span`] — an RAII wall-clock timer; dropping it records
+//!   `(path, elapsed)` under the span's path. Paths are `/`-separated
+//!   (`"pipeline/rcm/aat_build"`) and aggregate by path: the same span
+//!   executed `k` times contributes one [`SpanRecord`] with `count == k`.
+//! * [`Histogram`] — a fixed-bucket (powers of two) value histogram for
+//!   sizes and latencies, usable standalone for lock-free local
+//!   accumulation and merged into a recorder afterwards.
+//! * [`TraceReport`] — an immutable, serializable snapshot of everything a
+//!   recorder saw, with internal-consistency checks
+//!   ([`TraceReport::consistency_findings`]) that back the `CAHD-O001`
+//!   analysis pass of `cahd-check`.
+//!
+//! # Determinism contract
+//!
+//! **Counters must be scheduling-invariant**: instrumented code only
+//! records algorithmic event counts (groups formed, candidates scanned,
+//! rollbacks, ...) as counters, never anything derived from timing or the
+//! thread layout. Scheduling-dependent measurements belong in gauges
+//! (e.g. partition imbalance) or in histogram *values* (per-shard scan
+//! nanoseconds); histogram *counts* of deterministic event streams stay
+//! invariant. The property tests in `cahd-core` pin this contract across
+//! thread counts.
+//!
+//! ```
+//! use cahd_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _span = rec.span("pipeline");
+//!     rec.add("core.groups_formed", 3);
+//!     rec.observe("core.candidate_list_len", 12);
+//! }
+//! let report = rec.snapshot();
+//! assert_eq!(report.counter("core.groups_formed"), Some(3));
+//! assert_eq!(report.spans.len(), 1);
+//! assert!(report.consistency_findings().is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: bucket `i < 41` counts values
+/// `<= 2^i`; the final bucket counts everything larger (overflow).
+pub const N_BUCKETS: usize = 42;
+
+/// Upper bound (inclusive) of bucket `i`, or `u64::MAX` for the overflow
+/// bucket.
+#[must_use]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i + 1 < N_BUCKETS {
+        1u64 << i
+    } else {
+        u64::MAX
+    }
+}
+
+/// Index of the bucket a value falls into.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    for i in 0..N_BUCKETS - 1 {
+        if value <= (1u64 << i) {
+            return i;
+        }
+    }
+    N_BUCKETS - 1
+}
+
+/// A fixed-bucket value histogram (powers-of-two bounds, see
+/// [`bucket_bound`]). Standalone accumulation is lock-free; merge the
+/// result into a [`Recorder`] with [`Recorder::record_histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observed values.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_bound`]).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; N_BUCKETS],
+        }
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Mean observed value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<String, (u64, u64)>, // path -> (count, total_ns)
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe sink for trace events.
+///
+/// Cloning is cheap and shares the underlying store, so one recorder can be
+/// handed to worker threads (`Recorder` is `Send + Sync`). A recorder built
+/// with [`Recorder::disabled`] records nothing and costs one branch per
+/// operation — the zero-cost-when-off contract of the instrumentation.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// A recorder that drops every event (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a wall-clock span; the elapsed time is recorded under `path`
+    /// when the returned guard drops. Span paths are `/`-separated and
+    /// every ancestor path should itself be recorded as a span (the
+    /// `CAHD-O001` nesting check enforces it on emitted reports).
+    #[must_use]
+    pub fn span(&self, path: &'static str) -> Span<'_> {
+        Span {
+            rec: self,
+            path,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Records a completed span measured externally (in nanoseconds).
+    pub fn record_span_ns(&self, path: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().expect("obs recorder poisoned");
+            let e = g.spans.entry(path.to_string()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 = e.1.saturating_add(ns);
+        }
+    }
+
+    /// Adds `n` to the monotonic counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().expect("obs recorder poisoned");
+            *g.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Increments the monotonic counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` (last write wins). Gauges are the home of
+    /// scheduling-dependent values — see the crate-level determinism
+    /// contract.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().expect("obs recorder poisoned");
+            g.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records one value into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().expect("obs recorder poisoned");
+            g.histograms
+                .entry(name.to_string())
+                .or_insert_with(Histogram::new)
+                .observe(value);
+        }
+    }
+
+    /// Merges a locally accumulated [`Histogram`] into `name` under one
+    /// lock acquisition (the pattern for hot loops and worker threads).
+    pub fn record_histogram(&self, name: &str, h: &Histogram) {
+        if h.count == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().expect("obs recorder poisoned");
+            g.histograms
+                .entry(name.to_string())
+                .or_insert_with(Histogram::new)
+                .merge(h);
+        }
+    }
+
+    /// An immutable snapshot of everything recorded so far, with every
+    /// section sorted by name (snapshots of the same events are therefore
+    /// byte-identical regardless of recording order).
+    #[must_use]
+    pub fn snapshot(&self) -> TraceReport {
+        let Some(inner) = &self.inner else {
+            return TraceReport::default();
+        };
+        let g = inner.lock().expect("obs recorder poisoned");
+        TraceReport {
+            spans: g
+                .spans
+                .iter()
+                .map(|(path, &(count, total_ns))| SpanRecord {
+                    path: path.clone(),
+                    count,
+                    total_ns,
+                })
+                .collect(),
+            counters: g
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterRecord {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeRecord {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramRecord {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// RAII wall-clock timer returned by [`Recorder::span`].
+///
+/// The guard records on drop; `start` is only taken when the recorder is
+/// enabled, so a disabled span never reads the clock.
+pub struct Span<'a> {
+    rec: &'a Recorder,
+    path: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rec.record_span_ns(self.path, ns);
+        }
+    }
+}
+
+/// One aggregated span: all executions of a path, summed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// `/`-separated span path, e.g. `pipeline/rcm/aat_build`.
+    pub path: String,
+    /// Number of times the span executed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across executions.
+    pub total_ns: u64,
+}
+
+/// One monotonic counter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    /// Counter name, e.g. `core.groups_formed`.
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// One gauge (last-write-wins value; may be scheduling-dependent).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaugeRecord {
+    /// Gauge name, e.g. `sparse.aat_partition_imbalance`.
+    pub name: String,
+    /// Final value.
+    pub value: f64,
+}
+
+/// One fixed-bucket histogram (see [`bucket_bound`] for the bucket layout).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramRecord {
+    /// Histogram name, e.g. `eval.query_ns`.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts, `buckets[i]` counting values `<= bucket_bound(i)`.
+    pub buckets: Vec<u64>,
+}
+
+/// A serializable snapshot of one traced run. Every section is sorted by
+/// name/path; see `docs/OBSERVABILITY.md` for the span taxonomy and the
+/// counter glossary.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters, sorted by name. Scheduling-invariant by
+    /// contract.
+    pub counters: Vec<CounterRecord>,
+    /// Gauges, sorted by name. May be scheduling-dependent.
+    pub gauges: Vec<GaugeRecord>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramRecord>,
+}
+
+impl TraceReport {
+    /// The value of counter `name`, if recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The gauge `name`, if recorded.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The aggregated span at `path`, if recorded.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// The histogram `name`, if recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramRecord> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Paths of non-root spans whose parent path was never recorded.
+    ///
+    /// [`consistency_findings`](TraceReport::consistency_findings) accepts
+    /// such spans as roots of a partial trace; callers expecting a *full*
+    /// report rooted at known paths (the `CAHD-O001` pass) treat a
+    /// non-empty result as a defect.
+    #[must_use]
+    pub fn orphan_spans(&self) -> Vec<&str> {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.path
+                    .rfind('/')
+                    .is_some_and(|cut| self.span(&s.path[..cut]).is_none())
+            })
+            .map(|s| s.path.as_str())
+            .collect()
+    }
+
+    /// Direct children of span `path` (one `/` segment deeper).
+    #[must_use]
+    pub fn span_children(&self, path: &str) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.path.len() > path.len()
+                    && s.path.starts_with(path)
+                    && s.path.as_bytes()[path.len()] == b'/'
+                    && !s.path[path.len() + 1..].contains('/')
+            })
+            .collect()
+    }
+
+    /// Generic internal-consistency findings, empty when the report is
+    /// coherent. Backs the `CAHD-O001` pass of `cahd-check`:
+    ///
+    /// * section ordering: every section sorted by name with no duplicates
+    ///   (the shape [`Recorder::snapshot`] guarantees);
+    /// * span nesting: the direct children of a span account for at most
+    ///   its own total time (children time inside their parent; spans are
+    ///   recorded on the driving thread only, concurrent work is histogram
+    ///   territory). A span whose parent path was never recorded counts as
+    ///   a root — partial traces (e.g. a standalone RCM run rooted at
+    ///   `pipeline/rcm`) are coherent; use [`TraceReport::orphan_spans`]
+    ///   when a report must be rooted at specific paths;
+    /// * histograms: bucket counts sum to the recorded `count`, the bucket
+    ///   vector has the fixed [`N_BUCKETS`] length, and `sum` is
+    ///   consistent with the populated buckets' bounds.
+    #[must_use]
+    pub fn consistency_findings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        check_sorted_unique(
+            self.spans.iter().map(|s| s.path.as_str()),
+            "spans",
+            &mut out,
+        );
+        check_sorted_unique(
+            self.counters.iter().map(|c| c.name.as_str()),
+            "counters",
+            &mut out,
+        );
+        check_sorted_unique(
+            self.gauges.iter().map(|g| g.name.as_str()),
+            "gauges",
+            &mut out,
+        );
+        check_sorted_unique(
+            self.histograms.iter().map(|h| h.name.as_str()),
+            "histograms",
+            &mut out,
+        );
+
+        for s in &self.spans {
+            let children_ns: u64 = self.span_children(&s.path).iter().map(|c| c.total_ns).sum();
+            if children_ns > s.total_ns {
+                out.push(format!(
+                    "children of span `{}` total {children_ns} ns, exceeding the parent's {} ns",
+                    s.path, s.total_ns
+                ));
+            }
+        }
+
+        for h in &self.histograms {
+            if h.buckets.len() != N_BUCKETS {
+                out.push(format!(
+                    "histogram `{}` has {} buckets, expected {N_BUCKETS}",
+                    h.name,
+                    h.buckets.len()
+                ));
+                continue;
+            }
+            let total: u64 = h.buckets.iter().sum();
+            if total != h.count {
+                out.push(format!(
+                    "histogram `{}` buckets sum to {total}, count says {}",
+                    h.name, h.count
+                ));
+            }
+            // Upper bound on the sum implied by the populated buckets.
+            let max_sum = h.buckets.iter().enumerate().fold(0u64, |acc, (i, &c)| {
+                acc.saturating_add(bucket_bound(i).saturating_mul(c))
+            });
+            if h.sum > max_sum {
+                out.push(format!(
+                    "histogram `{}` sum {} exceeds the maximum {max_sum} its buckets allow",
+                    h.name, h.sum
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable metrics summary (the CLI `--metrics` view):
+    /// a span tree with milliseconds, then counters, gauges and histogram
+    /// digests.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                let depth = s.path.matches('/').count();
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                out.push_str(&format!(
+                    "  {:indent$}{name:<24} {:>10.3} ms  x{}\n",
+                    "",
+                    s.total_ns as f64 / 1e6,
+                    s.count,
+                    indent = depth * 2,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("  {:<40} {}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("  {:<40} {:.3}\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum as f64 / h.count as f64
+                };
+                out.push_str(&format!(
+                    "  {:<40} count {} mean {mean:.1} p99<={}\n",
+                    h.name,
+                    h.count,
+                    approx_quantile_bound(&h.buckets, h.count, 0.99),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Smallest bucket upper bound covering at least `q` of the observations.
+fn approx_quantile_bound(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = (count as f64 * q).ceil() as u64;
+    let mut acc = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return bucket_bound(i);
+        }
+    }
+    u64::MAX
+}
+
+fn check_sorted_unique<'a>(
+    names: impl Iterator<Item = &'a str>,
+    section: &str,
+    out: &mut Vec<String>,
+) {
+    let mut prev: Option<&str> = None;
+    for n in names {
+        if let Some(p) = prev {
+            if p >= n {
+                out.push(format!(
+                    "section `{section}` is not strictly sorted at `{n}` (after `{p}`)"
+                ));
+            }
+        }
+        prev = Some(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span("pipeline");
+            rec.add("c", 5);
+            rec.gauge("g", 1.0);
+            rec.observe("h", 3);
+        }
+        let report = rec.snapshot();
+        assert_eq!(report, TraceReport::default());
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let _s = rec.span("pipeline");
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.span("pipeline").unwrap().count, 3);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let rec = Recorder::new();
+        rec.add("b", 2);
+        rec.incr("a");
+        rec.add("b", 3);
+        let report = rec.snapshot();
+        assert_eq!(report.counter("a"), Some(1));
+        assert_eq!(report.counter("b"), Some(5));
+        assert_eq!(report.counters[0].name, "a");
+        assert!(report.consistency_findings().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(1_000_000);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets[0], 2); // 0 and 1 both <= 2^0
+        assert_eq!(h.buckets[1], 1);
+        let mut h2 = Histogram::new();
+        h2.observe(u64::MAX);
+        h.merge(&h2);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[N_BUCKETS - 1], 1);
+        // Sum saturates instead of wrapping when observations overflow u64.
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_bound(N_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn local_histogram_merges_into_recorder() {
+        let rec = Recorder::new();
+        let mut local = Histogram::new();
+        local.observe(4);
+        local.observe(5);
+        rec.record_histogram("sizes", &local);
+        rec.observe("sizes", 6);
+        let report = rec.snapshot();
+        let h = report.histogram("sizes").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 15);
+        assert!(report.consistency_findings().is_empty());
+    }
+
+    #[test]
+    fn nesting_findings_flag_orphans_and_overflow() {
+        let rec = Recorder::new();
+        rec.record_span_ns("pipeline", 100);
+        rec.record_span_ns("pipeline/rcm", 60);
+        rec.record_span_ns("pipeline/group", 30);
+        assert!(rec.snapshot().consistency_findings().is_empty());
+
+        // An orphan child is coherent (a partial-trace root) but listed.
+        rec.record_span_ns("other/child", 10);
+        let report = rec.snapshot();
+        assert!(report.consistency_findings().is_empty());
+        assert_eq!(report.orphan_spans(), vec!["other/child"]);
+
+        // Children exceeding the parent.
+        let rec2 = Recorder::new();
+        rec2.record_span_ns("p", 10);
+        rec2.record_span_ns("p/a", 8);
+        rec2.record_span_ns("p/b", 8);
+        let findings = rec2.snapshot().consistency_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("exceeding the parent")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_histogram_is_flagged() {
+        let rec = Recorder::new();
+        rec.observe("h", 5);
+        let mut report = rec.snapshot();
+        report.histograms[0].count = 7;
+        let findings = report.consistency_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("buckets sum")),
+            "{findings:?}"
+        );
+        let mut report2 = rec.snapshot();
+        report2.histograms[0].sum = u64::MAX;
+        let findings2 = report2.consistency_findings();
+        assert!(
+            findings2.iter().any(|f| f.contains("exceeds the maximum")),
+            "{findings2:?}"
+        );
+    }
+
+    #[test]
+    fn report_roundtrips_through_serde_shim() {
+        let rec = Recorder::new();
+        rec.record_span_ns("pipeline", 42);
+        rec.add("core.groups_formed", 7);
+        rec.gauge("core.shards", 4.0);
+        rec.observe("eval.query_ns", 1234);
+        let report = rec.snapshot();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn render_human_shows_all_sections() {
+        let rec = Recorder::new();
+        rec.record_span_ns("pipeline", 2_000_000);
+        rec.record_span_ns("pipeline/rcm", 1_000_000);
+        rec.add("core.groups_formed", 7);
+        rec.gauge("core.shards", 4.0);
+        rec.observe("eval.query_ns", 100);
+        let text = rec.snapshot().render_human();
+        assert!(text.contains("spans:"), "{text}");
+        assert!(text.contains("core.groups_formed"), "{text}");
+        assert!(text.contains("core.shards"), "{text}");
+        assert!(text.contains("eval.query_ns"), "{text}");
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        rec.incr("events");
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("events"), Some(400));
+    }
+}

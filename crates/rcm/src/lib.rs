@@ -35,5 +35,11 @@ pub use gps::gibbs_poole_stockmeyer;
 pub use level::LevelStructure;
 pub use ordering::{lexicographic_order, minhash_order, RowOrder};
 pub use peripheral::pseudo_peripheral;
-pub use rcm::{cuthill_mckee, reverse_cuthill_mckee, reverse_cuthill_mckee_linear};
-pub use unsym::{reduce_unsymmetric, AatMethod, BandReduction, ColumnOrder, UnsymOptions};
+pub use rcm::{
+    cuthill_mckee, cuthill_mckee_traced, reverse_cuthill_mckee, reverse_cuthill_mckee_linear,
+    reverse_cuthill_mckee_traced,
+};
+pub use unsym::{
+    reduce_unsymmetric, reduce_unsymmetric_traced, AatMethod, BandReduction, ColumnOrder,
+    UnsymOptions,
+};

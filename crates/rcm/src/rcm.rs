@@ -16,6 +16,15 @@ use crate::peripheral::pseudo_peripheral_with_scratch;
 /// Returned as a [`Permutation`] whose `new_to_old` view is the ordering.
 /// Components are processed in order of their smallest vertex id.
 pub fn cuthill_mckee(g: &impl NeighborOracle) -> Permutation {
+    cuthill_mckee_traced(g, &cahd_obs::Recorder::disabled())
+}
+
+/// Like [`cuthill_mckee`], recording ordering metrics into `rec`: counters
+/// `rcm.components` (connected components ordered) and `rcm.bfs_levels`
+/// (total levels of the pseudo-peripheral level structures, summed over
+/// components — the paper's rooted-level-structure depth). RCM is a serial
+/// BFS, so both are deterministic.
+pub fn cuthill_mckee_traced(g: &impl NeighborOracle, rec: &cahd_obs::Recorder) -> Permutation {
     let n = g.n_vertices();
     let mut order: Vec<u32> = Vec::with_capacity(n);
     // Visited marks are shared between the peripheral search (which must
@@ -25,11 +34,15 @@ pub fn cuthill_mckee(g: &impl NeighborOracle) -> Permutation {
     let mut mark = vec![0u32; n];
     let mut stamp = 0u32;
     let mut in_order = vec![false; n];
+    let mut components = 0u64;
+    let mut bfs_levels = 0u64;
     for start in 0..n {
         if in_order[start] {
             continue;
         }
-        let (root, _) = pseudo_peripheral_with_scratch(g, start as u32, &mut mark, &mut stamp);
+        let (root, levels) = pseudo_peripheral_with_scratch(g, start as u32, &mut mark, &mut stamp);
+        components += 1;
+        bfs_levels += levels.n_levels() as u64;
         stamp += 1;
         let before = order.len();
         cuthill_mckee_component(g, root, &mut order, &mut mark, stamp);
@@ -37,6 +50,8 @@ pub fn cuthill_mckee(g: &impl NeighborOracle) -> Permutation {
             in_order[v as usize] = true;
         }
     }
+    rec.add("rcm.components", components);
+    rec.add("rcm.bfs_levels", bfs_levels);
     debug_assert_eq!(order.len(), n);
     Permutation::from_new_to_old(order).expect("CM visits every vertex exactly once")
 }
@@ -61,6 +76,14 @@ pub fn cuthill_mckee(g: &impl NeighborOracle) -> Permutation {
 /// ```
 pub fn reverse_cuthill_mckee(g: &impl NeighborOracle) -> Permutation {
     cuthill_mckee(g).reversed()
+}
+
+/// [`reverse_cuthill_mckee`] with [`cuthill_mckee_traced`]'s metrics.
+pub fn reverse_cuthill_mckee_traced(
+    g: &impl NeighborOracle,
+    rec: &cahd_obs::Recorder,
+) -> Permutation {
+    cuthill_mckee_traced(g, rec).reversed()
 }
 
 /// RCM using the linear-time (counting-sort) Cuthill-McKee variant of

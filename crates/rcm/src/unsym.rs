@@ -93,31 +93,76 @@ pub struct BandReduction {
 
 /// Runs the paper's unsymmetric bandwidth-reduction pipeline on `a`.
 pub fn reduce_unsymmetric(a: &CsrMatrix, opts: UnsymOptions) -> BandReduction {
+    reduce_unsymmetric_traced(a, opts, &cahd_obs::Recorder::disabled())
+}
+
+/// Like [`reduce_unsymmetric`], recording per-phase spans and band metrics
+/// into `rec`:
+///
+/// * spans `pipeline/rcm` (whole reduction) with children
+///   `pipeline/rcm/aat_build` (row-graph construction, `Product` method
+///   only), `pipeline/rcm/order` (the Cuthill-McKee ordering),
+///   `pipeline/rcm/columns` (column ordering), and `pipeline/rcm/stats`
+///   (band statistics before/after);
+/// * the `sparse.*` counters of [`RowGraph::build_traced`] and the
+///   `rcm.components` / `rcm.bfs_levels` counters of
+///   [`crate::cuthill_mckee_traced`];
+/// * gauges `rcm.bandwidth_before` / `rcm.bandwidth_after` (the
+///   [`RectBandStats::max_diag_distance`] rectangular-bandwidth analogue)
+///   and `rcm.mean_row_span_before` / `rcm.mean_row_span_after`.
+pub fn reduce_unsymmetric_traced(
+    a: &CsrMatrix,
+    opts: UnsymOptions,
+    rec: &cahd_obs::Recorder,
+) -> BandReduction {
+    let whole = rec.span("pipeline/rcm");
     let t0 = Instant::now();
     let (row_perm, sum_col_perm, used_explicit_aat) = match opts.aat_method {
         AatMethod::Product => {
-            let rg = RowGraph::build_with_threads(a, opts.edge_budget, opts.threads);
+            let rg = {
+                let _s = rec.span("pipeline/rcm/aat_build");
+                RowGraph::build_traced(a, opts.edge_budget, opts.threads, rec)
+            };
             let explicit = rg.is_explicit();
-            (reverse_cuthill_mckee(&rg), None, explicit)
+            let _s = rec.span("pipeline/rcm/order");
+            (
+                crate::rcm::reverse_cuthill_mckee_traced(&rg, rec),
+                None,
+                explicit,
+            )
         }
         AatMethod::Sum => {
+            let _s = rec.span("pipeline/rcm/order");
             let (rp, cp) = sum_method_orderings(a);
             (rp, Some(cp), true)
         }
     };
     let rcm_time = t0.elapsed();
 
-    let col_perm = match (opts.column_order, sum_col_perm) {
-        // Method (i) already produced a joint column ordering; the
-        // MeanRowPos default defers to it.
-        (ColumnOrder::MeanRowPos, Some(cp)) => cp,
-        (order, _) => order_columns(a, &row_perm, order),
+    let col_perm = {
+        let _s = rec.span("pipeline/rcm/columns");
+        match (opts.column_order, sum_col_perm) {
+            // Method (i) already produced a joint column ordering; the
+            // MeanRowPos default defers to it.
+            (ColumnOrder::MeanRowPos, Some(cp)) => cp,
+            (order, _) => order_columns(a, &row_perm, order),
+        }
     };
 
-    let id_rows = Permutation::identity(a.n_rows());
-    let id_cols = Permutation::identity(a.n_cols());
-    let before = rect_band_stats(a, &id_rows, &id_cols);
-    let after = rect_band_stats(a, &row_perm, &col_perm);
+    let (before, after) = {
+        let _s = rec.span("pipeline/rcm/stats");
+        let id_rows = Permutation::identity(a.n_rows());
+        let id_cols = Permutation::identity(a.n_cols());
+        (
+            rect_band_stats(a, &id_rows, &id_cols),
+            rect_band_stats(a, &row_perm, &col_perm),
+        )
+    };
+    rec.gauge("rcm.bandwidth_before", before.max_diag_distance as f64);
+    rec.gauge("rcm.bandwidth_after", after.max_diag_distance as f64);
+    rec.gauge("rcm.mean_row_span_before", before.mean_row_span);
+    rec.gauge("rcm.mean_row_span_after", after.mean_row_span);
+    drop(whole);
 
     BandReduction {
         row_perm,
@@ -316,6 +361,40 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn traced_reduction_records_phases_and_gauges() {
+        let a = scrambled_blocks();
+        let rec = cahd_obs::Recorder::new();
+        let red = reduce_unsymmetric_traced(&a, UnsymOptions::default(), &rec);
+        let report = rec.snapshot();
+        for path in [
+            "pipeline/rcm",
+            "pipeline/rcm/aat_build",
+            "pipeline/rcm/order",
+            "pipeline/rcm/columns",
+            "pipeline/rcm/stats",
+        ] {
+            assert!(report.span(path).is_some(), "missing span {path}");
+        }
+        assert_eq!(
+            report.gauge("rcm.bandwidth_after"),
+            Some(red.after.max_diag_distance as f64)
+        );
+        assert!(report.counter("rcm.components").unwrap() >= 1);
+        assert!(report.counter("rcm.bfs_levels").unwrap() >= 1);
+        assert!(
+            report.consistency_findings().is_empty(),
+            "{:?}",
+            report.consistency_findings()
+        );
+        // The untraced entry point is the disabled-recorder special case.
+        let plain = reduce_unsymmetric(&a, UnsymOptions::default());
+        assert_eq!(
+            plain.row_perm.new_to_old_slice(),
+            red.row_perm.new_to_old_slice()
+        );
     }
 
     #[test]

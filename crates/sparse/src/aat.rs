@@ -168,11 +168,57 @@ impl RowGraph {
     /// implicit fallback is unaffected by the thread count — it builds no
     /// adjacency up front.
     pub fn build_with_threads(a: &CsrMatrix, edge_budget: usize, threads: usize) -> Self {
-        if Self::estimate_directed_edges(a) <= edge_budget {
-            RowGraph::Explicit(Self::build_explicit_threaded(a, threads))
-        } else {
-            RowGraph::Implicit(ImplicitRowGraph::new(a))
+        Self::build_traced(a, edge_budget, threads, &cahd_obs::Recorder::disabled())
+    }
+
+    /// Like [`RowGraph::build_with_threads`], recording `sparse.*` build
+    /// metrics into `rec`:
+    ///
+    /// * counters `sparse.aat_rows`, `sparse.aat_nnz`,
+    ///   `sparse.aat_edges_estimate`, and (explicit form only)
+    ///   `sparse.aat_edges` — all scheduling-invariant;
+    /// * gauge `sparse.aat_partition_imbalance` — for the threaded
+    ///   explicit build, the heaviest worker chunk's directed-edge count
+    ///   over the mean chunk's (1.0 = perfectly balanced); depends on the
+    ///   thread count, hence a gauge.
+    pub fn build_traced(
+        a: &CsrMatrix,
+        edge_budget: usize,
+        threads: usize,
+        rec: &cahd_obs::Recorder,
+    ) -> Self {
+        let n = a.n_rows();
+        let estimate = Self::estimate_directed_edges(a);
+        rec.add("sparse.aat_rows", n as u64);
+        rec.add("sparse.aat_nnz", a.nnz() as u64);
+        rec.add("sparse.aat_edges_estimate", estimate as u64);
+        if estimate > edge_budget {
+            return RowGraph::Implicit(ImplicitRowGraph::new(a));
         }
+        let g = Self::build_explicit_threaded(a, threads);
+        if rec.is_enabled() {
+            let degrees: Vec<usize> = (0..n).map(|v| Graph::degree(&g, v)).collect();
+            rec.add(
+                "sparse.aat_edges",
+                degrees.iter().map(|&d| d as u64).sum::<u64>(),
+            );
+            // Reconstruct the worker partition of `build_explicit_threaded`
+            // (contiguous chunks of ceil(n / threads) rows) and compare
+            // per-chunk edge loads.
+            let threads = threads.max(1).min(n.max(1));
+            if threads > 1 {
+                let chunk = n.div_ceil(threads);
+                let loads: Vec<u64> = degrees
+                    .chunks(chunk)
+                    .map(|c| c.iter().map(|&d| d as u64).sum())
+                    .collect();
+                let max = loads.iter().copied().max().unwrap_or(0);
+                let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+                let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+                rec.gauge("sparse.aat_partition_imbalance", imbalance);
+            }
+        }
+        RowGraph::Explicit(g)
     }
 
     /// Always materializes the adjacency.
@@ -334,6 +380,35 @@ mod tests {
         assert_eq!(sorted_neighbors(&seq, 1), sorted_neighbors(&par0, 1));
         assert!(RowGraph::build_with_threads(&a, usize::MAX, 4).is_explicit());
         assert!(!RowGraph::build_with_threads(&a, 0, 4).is_explicit());
+    }
+
+    #[test]
+    fn traced_build_records_invariant_counters() {
+        let rows: Vec<Vec<u32>> = (0..23u32).map(|i| vec![i % 5, 5 + i % 3]).collect();
+        let a = CsrMatrix::from_rows(&rows, 8);
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let rec = cahd_obs::Recorder::new();
+            let g = RowGraph::build_traced(&a, usize::MAX, threads, &rec);
+            assert!(g.is_explicit());
+            reports.push(rec.snapshot());
+        }
+        let [seq, par] = &reports[..] else {
+            unreachable!()
+        };
+        // Counters are identical across thread counts...
+        assert_eq!(seq.counters, par.counters);
+        assert_eq!(seq.counter("sparse.aat_rows"), Some(23));
+        assert_eq!(seq.counter("sparse.aat_nnz"), Some(46));
+        assert!(seq.counter("sparse.aat_edges").unwrap() > 0);
+        // ...while the imbalance gauge only exists for the threaded build.
+        assert!(seq.gauge("sparse.aat_partition_imbalance").is_none());
+        assert!(par.gauge("sparse.aat_partition_imbalance").unwrap() >= 1.0);
+        // The implicit fallback records sizes but no edge count.
+        let rec = cahd_obs::Recorder::new();
+        let g = RowGraph::build_traced(&a, 0, 4, &rec);
+        assert!(!g.is_explicit());
+        assert_eq!(rec.snapshot().counter("sparse.aat_edges"), None);
     }
 
     #[test]
