@@ -1,0 +1,157 @@
+//! Diffs two `BENCH_<epoch-secs>.json` perf snapshots (see
+//! `cahd_bench::snapshot`), entry by entry.
+//!
+//! ```text
+//! bench_diff <before.json> <after.json> [--threshold PCT] [--fail-on-regression]
+//! ```
+//!
+//! For every workload present in both files the tool prints the per-phase
+//! wall-clock deltas (total / rcm / group) and the deterministic work
+//! counters (pivots, candidate scans), so a slowdown can be split into
+//! "doing more work" vs "doing the same work slower". Phases slower by
+//! more than the threshold (default 10%) are flagged `REGRESSION`;
+//! `--fail-on-regression` turns any flag into a non-zero exit status.
+//! Entries present in only one file are listed but never flagged.
+
+use std::process::ExitCode;
+
+use cahd_bench::snapshot::{PerfSnapshot, SnapshotEntry};
+
+const USAGE: &str =
+    "usage: bench_diff <before.json> <after.json> [--threshold PCT] [--fail-on-regression]";
+
+/// Phase timings compared between snapshots, as `(label, before, after)`.
+fn phases(before: &SnapshotEntry, after: &SnapshotEntry) -> [(&'static str, f64, f64); 3] {
+    [
+        ("total", before.total_ms, after.total_ms),
+        ("rcm", before.rcm_ms, after.rcm_ms),
+        ("group", before.group_ms, after.group_ms),
+    ]
+}
+
+/// Signed percentage change from `before` to `after`; `None` when the
+/// baseline is too small for a meaningful ratio (< 10 microseconds).
+fn pct_change(before: f64, after: f64) -> Option<f64> {
+    (before > 0.01).then(|| (after - before) / before * 100.0)
+}
+
+fn load(path: &str) -> Result<PerfSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not a perf snapshot: {e}"))
+}
+
+/// Diffs one workload present in both snapshots. Returns the number of
+/// flagged phase regressions.
+fn diff_entry(before: &SnapshotEntry, after: &SnapshotEntry, threshold: f64) -> usize {
+    let mut regressions = 0;
+    println!("{}", before.name);
+    for (label, b, a) in phases(before, after) {
+        let (delta, flag) = match pct_change(b, a) {
+            Some(pct) => {
+                let flag = if pct > threshold {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                (format!("{pct:+7.1}%"), flag)
+            }
+            None => ("     n/a".to_string(), ""),
+        };
+        println!("  {label:<6} {b:>9.3} ms -> {a:>9.3} ms  {delta}{flag}");
+    }
+    for (label, b, a) in [
+        ("pivots", before.pivots_scanned, after.pivots_scanned),
+        (
+            "cand-scans",
+            before.candidates_scanned,
+            after.candidates_scanned,
+        ),
+        ("groups", before.groups, after.groups),
+    ] {
+        if b == a {
+            println!("  {label:<10} {b:>10}  (unchanged)");
+        } else {
+            println!("  {label:<10} {b:>10} -> {a}");
+        }
+    }
+    regressions
+}
+
+fn run(before: &PerfSnapshot, after: &PerfSnapshot, threshold: f64) -> usize {
+    println!(
+        "comparing @{} ({}) -> @{} ({}), threshold {threshold}%",
+        before.created_unix_s,
+        if before.quick { "quick" } else { "full" },
+        after.created_unix_s,
+        if after.quick { "quick" } else { "full" },
+    );
+    if before.quick != after.quick {
+        println!("note: snapshots use different workload sizes; timings are not comparable");
+    }
+    let mut regressions = 0;
+    for b in &before.entries {
+        match after.entries.iter().find(|a| a.name == b.name) {
+            Some(a) => regressions += diff_entry(b, a, threshold),
+            None => println!("{}\n  only in before-snapshot", b.name),
+        }
+    }
+    for a in &after.entries {
+        if !before.entries.iter().any(|b| b.name == a.name) {
+            println!(
+                "{}\n  only in after-snapshot: total {:>9.3} ms  rcm {:>9.3} ms  group {:>9.3} ms",
+                a.name, a.total_ms, a.rcm_ms, a.group_ms
+            );
+        }
+    }
+    if regressions > 0 {
+        println!("{regressions} phase regression(s) above {threshold}%");
+    } else {
+        println!("no phase regressions above {threshold}%");
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut fail_on_regression = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => threshold = v,
+                _ => return usage_error("--threshold needs a non-negative number"),
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown argument {other:?}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [before_path, after_path] = paths.as_slice() else {
+        return usage_error("expected exactly two snapshot files");
+    };
+    let (before, after) = match (load(before_path), load(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regressions = run(&before, &after, threshold);
+    if fail_on_regression && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

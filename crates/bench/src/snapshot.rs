@@ -66,11 +66,16 @@ fn span_ms(trace: &cahd_obs::TraceReport, path: &str) -> f64 {
     trace.span(path).map_or(0.0, |s| s.total_ns as f64 / 1e6)
 }
 
-/// Runs one traced reference configuration.
+/// Runs one traced reference configuration. The pipeline runs five
+/// times and each phase timing records its fastest observation (the work
+/// counters are deterministic across repeats, so the repeats only damp
+/// scheduler noise): per-phase minima track the cost of the work itself
+/// rather than whichever run the scheduler favoured overall.
 fn run_entry(
     name: &str,
     data: &cahd_data::TransactionSet,
     p: usize,
+    alpha: usize,
     shards: usize,
     seed: u64,
 ) -> SnapshotEntry {
@@ -78,31 +83,48 @@ fn run_entry(
     let sensitive = SensitiveSet::select_random(data, 4, p, &mut rng)
         .expect("reference profiles admit 4 sensitive items");
     let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    cfg.cahd = cfg.cahd.with_alpha(alpha);
     if shards > 1 {
         cfg = cfg.with_parallel(ParallelConfig::new(shards, 2));
     }
-    let rec = Recorder::new();
-    let res = Anonymizer::new(cfg)
-        .anonymize_traced(data, &sensitive, &rec)
-        .expect("reference workload is feasible");
-    let trace = res.trace.expect("traced run yields a report");
-    SnapshotEntry {
-        name: name.to_string(),
-        n_transactions: data.n_transactions() as u64,
-        n_items: data.n_items() as u64,
-        p: p as u64,
-        shards: shards as u64,
-        total_ms: res.total_time.as_secs_f64() * 1e3,
-        rcm_ms: span_ms(&trace, "pipeline/rcm"),
-        group_ms: span_ms(&trace, "pipeline/group"),
-        groups: res.published.n_groups() as u64,
-        pivots_scanned: trace.counter("core.pivots_scanned").unwrap_or(0),
-        candidates_scanned: trace.counter("core.candidates_scanned").unwrap_or(0),
+    let mut best: Option<SnapshotEntry> = None;
+    for _ in 0..5 {
+        let rec = Recorder::new();
+        let res = Anonymizer::new(cfg)
+            .anonymize_traced(data, &sensitive, &rec)
+            .expect("reference workload is feasible");
+        let trace = res.trace.expect("traced run yields a report");
+        let entry = SnapshotEntry {
+            name: name.to_string(),
+            n_transactions: data.n_transactions() as u64,
+            n_items: data.n_items() as u64,
+            p: p as u64,
+            shards: shards as u64,
+            total_ms: res.total_time.as_secs_f64() * 1e3,
+            rcm_ms: span_ms(&trace, "pipeline/rcm"),
+            group_ms: span_ms(&trace, "pipeline/group"),
+            groups: res.published.n_groups() as u64,
+            pivots_scanned: trace.counter("core.pivots_scanned").unwrap_or(0),
+            candidates_scanned: trace.counter("core.candidates_scanned").unwrap_or(0),
+        };
+        best = Some(match best.take() {
+            None => entry,
+            Some(b) => SnapshotEntry {
+                total_ms: b.total_ms.min(entry.total_ms),
+                rcm_ms: b.rcm_ms.min(entry.rcm_ms),
+                group_ms: b.group_ms.min(entry.group_ms),
+                ..b
+            },
+        });
     }
+    best.expect("three runs produce a best entry")
 }
 
-/// Collects the snapshot: the BMS-like reference profiles at `--quick`
-/// (CI) or full size, each sequential and sharded.
+/// Collects the snapshot: the BMS-like reference profiles plus the dense
+/// kernel workload at `--quick` (CI) or full size, each sequential and
+/// sharded. The `dense` entries exist to track the similarity kernel's
+/// packed-bitset path (see `cahd_core::kernel`); the BMS entries keep its
+/// long-tail sparse path honest.
 pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
     let scale = if quick { 0.02 } else { 0.25 };
     let created_unix_s = SystemTime::now()
@@ -110,11 +132,20 @@ pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
         .map_or(0, |d| d.as_secs());
     let bms1 = profiles::bms1_like(scale, seed);
     let bms2 = profiles::bms2_like(scale, seed);
+    let dense = profiles::dense_like(scale, seed);
     let mut entries = Vec::new();
-    for (profile, data) in [("bms1", &bms1), ("bms2", &bms2)] {
+    // The dense workload runs at p = 8, alpha = 6: candidate lists hold
+    // `alpha * p` transactions, so the higher degree and wider window
+    // keep candidate scoring — the part the kernel accelerates — the
+    // dominant group-phase cost.
+    for (profile, data, p, alpha) in [
+        ("bms1", &bms1, 4usize, 3usize),
+        ("bms2", &bms2, 4, 3),
+        ("dense", &dense, 8, 6),
+    ] {
         for shards in [1usize, 4] {
-            let name = format!("{profile}/p4/shards{shards}");
-            entries.push(run_entry(&name, data, 4, shards, seed));
+            let name = format!("{profile}/p{p}/shards{shards}");
+            entries.push(run_entry(&name, data, p, alpha, shards, seed));
         }
     }
     PerfSnapshot {
@@ -180,7 +211,7 @@ mod tests {
     #[test]
     fn quick_snapshot_collects_writes_and_revalidates() {
         let snap = collect(true, 7);
-        assert_eq!(snap.entries.len(), 4);
+        assert_eq!(snap.entries.len(), 6);
         for e in &snap.entries {
             assert!(e.pivots_scanned > 0, "{}", e.name);
             assert!(e.total_ms >= e.group_ms, "{}", e.name);

@@ -364,6 +364,31 @@ mod tests {
             .iter()
             .all(|d| d.code == "CAHD-O001" && d.severity == Severity::Error));
         assert!(report.diagnostics.len() >= 2, "{}", report.render_human());
+
+        // Tamper with the kernel path split: dense + sparse scores must
+        // cover every scanned candidate exactly once.
+        let mut bad = trace.clone();
+        bad.counters
+            .iter_mut()
+            .find(|c| c.name == "core.kernel_sparse_scores" || c.name == "core.kernel_dense_scores")
+            .expect("traced run scored candidates through the kernel")
+            .value += 3;
+        let report = Registry::new().register(TraceObs).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &res.published,
+            p: 2,
+            trace: Some(&bad),
+        });
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("kernel accounting")),
+            "{}",
+            report.render_human()
+        );
     }
 
     #[test]

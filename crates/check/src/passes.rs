@@ -408,8 +408,11 @@ impl Pass for BandQuality {
 ///   the file was truncated or stitched from partial runs;
 /// * **accounting** — counters that the engine defines as identities:
 ///   every scanned pivot either formed a group, rolled back, or ran out
-///   of candidates; the merge cannot dissolve more groups than were
-///   formed; deterministic histogram *counts* match their driving
+///   of candidates; every scanned candidate was scored by exactly one
+///   kernel path (`core.kernel_dense_scores + core.kernel_sparse_scores
+///   == core.candidates_scanned`, with `core.kernel_cache_hits` a subset
+///   of the dense scores); the merge cannot dissolve more groups than
+///   were formed; deterministic histogram *counts* match their driving
 ///   counters (`core.candidate_list_len` ↔ `core.pivots_scanned`,
 ///   `core.shard_scan_ns` ↔ the `core.shards` gauge, `eval.query_ns` ↔
 ///   `eval.queries`).
@@ -465,6 +468,29 @@ impl Pass for TraceObs {
                     "pivot accounting broken: {pivots} pivots scanned, but {formed} groups formed \
                      + {rollbacks} rollbacks + {starved} candidate shortfalls = {}",
                     formed + rollbacks + starved
+                ),
+            );
+        }
+        let candidates = counter("core.candidates_scanned");
+        let kernel_dense = counter("core.kernel_dense_scores");
+        let kernel_sparse = counter("core.kernel_sparse_scores");
+        if kernel_dense + kernel_sparse != candidates {
+            Self::balance(
+                out,
+                format!(
+                    "kernel accounting broken: {kernel_dense} dense + {kernel_sparse} sparse \
+                     scores = {}, but {candidates} candidates were scanned",
+                    kernel_dense + kernel_sparse
+                ),
+            );
+        }
+        let cache_hits = counter("core.kernel_cache_hits");
+        if cache_hits > kernel_dense {
+            Self::balance(
+                out,
+                format!(
+                    "kernel cache accounting broken: {cache_hits} cache hits exceed \
+                     {kernel_dense} dense scores"
                 ),
             );
         }

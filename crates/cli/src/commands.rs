@@ -10,7 +10,7 @@ use cahd_core::diversity::privacy_report;
 use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
 use cahd_core::shard::ParallelConfig;
 use cahd_core::weighted::{anonymize_weighted, verify_weighted, WeightedSimilarity};
-use cahd_core::{verify_published, CahdConfig, PublishedDataset};
+use cahd_core::{verify_published, CahdConfig, KernelMode, PublishedDataset};
 use cahd_data::{
     io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
 };
@@ -229,7 +229,25 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         name: "metrics",
         takes_value: false,
     },
+    FlagSpec {
+        name: "kernel",
+        takes_value: true,
+    },
 ];
+
+/// Parses `--kernel {adaptive|sparse|dense}` (default: adaptive). The
+/// `CAHD_KERNEL` environment variable still overrides the resolved mode
+/// inside the engine, mirroring library behavior.
+fn kernel_from_args(args: &Args) -> Result<KernelMode, CliError> {
+    match args.value("kernel") {
+        None => Ok(KernelMode::Adaptive),
+        Some(v) => KernelMode::parse(v).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown kernel mode {v:?}; expected adaptive, sparse or dense"
+            ))
+        }),
+    }
+}
 
 /// `anonymize <data.dat> --p P ...`: produce a release (JSON on disk or a
 /// summary on stdout). With `--trace-json <path>` and/or `--metrics` the
@@ -266,7 +284,9 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
     let mut published: PublishedDataset = match method {
         "cahd" => {
             let mut cfg = AnonymizerConfig::with_privacy_degree(p);
-            cfg.cahd = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+            cfg.cahd = CahdConfig::new(p)
+                .with_alpha(args.parse_or("alpha", 3usize)?)
+                .with_kernel(kernel_from_args(args)?);
             if args.has("no-rcm") {
                 cfg = cfg.without_rcm();
             }
@@ -340,7 +360,9 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
     let data = cahd_data::weighted::read_wdat_file(path, None)?;
     let binary = data.to_binary();
     let sensitive = sensitive_from_args(args, &binary, p, seed)?;
-    let cfg = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+    let cfg = CahdConfig::new(p)
+        .with_alpha(args.parse_or("alpha", 3usize)?)
+        .with_kernel(kernel_from_args(args)?);
     let (mut release, _) =
         anonymize_weighted(&data, &sensitive, &cfg, WeightedSimilarity::MinCount)?;
     verify_weighted(&data, &sensitive, &release, p)
@@ -545,6 +567,10 @@ pub const PROFILE_FLAGS: &[FlagSpec] = &[
         name: "trace-json",
         takes_value: true,
     },
+    FlagSpec {
+        name: "kernel",
+        takes_value: true,
+    },
 ];
 
 /// `profile <data.dat> --p P ...`: run the traced pipeline plus a traced
@@ -564,7 +590,9 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
     let mut cfg = AnonymizerConfig::with_privacy_degree(p);
-    cfg.cahd = CahdConfig::new(p).with_alpha(args.parse_or("alpha", 3usize)?);
+    cfg.cahd = CahdConfig::new(p)
+        .with_alpha(args.parse_or("alpha", 3usize)?)
+        .with_kernel(kernel_from_args(args)?);
     if args.has("no-rcm") {
         cfg = cfg.without_rcm();
     }

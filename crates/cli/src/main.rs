@@ -17,6 +17,7 @@ usage:
                      [--release release.json]  (adds a linkage-attack audit)
   cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
+                     [--kernel adaptive|sparse|dense]  (similarity kernel)
                      [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
                      [--trace-json trace.json] [--metrics]  (observability)
@@ -29,6 +30,7 @@ usage:
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
   cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
+                     [--kernel adaptive|sparse|dense]
                      [--r R] [--queries N] [--seed N] [--trace-json trace.json]
                      (traced pipeline + workload; see docs/OBSERVABILITY.md)
 ";

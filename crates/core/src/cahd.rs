@@ -29,6 +29,7 @@ use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
 use crate::histogram::SensitiveHistogram;
 use crate::invariant::{strict_invariant, strict_invariant_eq};
+use crate::kernel::{KernelMode, SimilarityKernel};
 use crate::order::OrderList;
 
 /// Configuration of the CAHD heuristic.
@@ -46,21 +47,34 @@ pub struct CahdConfig {
     /// order). Disabling this is an ablation switch; ties then fall back to
     /// slot order.
     pub proximity_tie_break: bool,
+    /// Physical scoring path of the QID-similarity kernel (see
+    /// [`crate::kernel`]). Never changes the published output — only where
+    /// the scoring time goes — and can be overridden per process with the
+    /// `CAHD_KERNEL` environment variable.
+    pub kernel: KernelMode,
 }
 
 impl CahdConfig {
-    /// The paper's default: `alpha = 3`, proximity tie-break on.
+    /// The paper's default: `alpha = 3`, proximity tie-break on, adaptive
+    /// similarity kernel.
     pub fn new(p: usize) -> Self {
         CahdConfig {
             p,
             alpha: 3,
             proximity_tie_break: true,
+            kernel: KernelMode::Adaptive,
         }
     }
 
     /// Sets the candidate-list width factor.
     pub fn with_alpha(mut self, alpha: usize) -> Self {
         self.alpha = alpha;
+        self
+    }
+
+    /// Sets the similarity-kernel mode.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -93,7 +107,10 @@ pub struct CahdStats {
     pub insufficient_candidates: usize,
     /// Size of the final leftover group (0 if everything was grouped).
     pub fallback_group_size: usize,
-    /// Total candidates scored across all candidate lists.
+    /// Total candidates submitted to the similarity kernel. Pivots whose
+    /// candidate list fell short of `p - 1` contribute nothing (their
+    /// candidates are never scored), so this always equals the kernel's
+    /// `dense_scores + sparse_scores` — the `CAHD-O001` identity.
     pub candidates_considered: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
@@ -131,7 +148,9 @@ pub fn cahd(
 
 /// Like [`cahd`], recording the group-formation phase into `rec`: the span
 /// `pipeline/group`, the scheduling-invariant `core.*` counters of the
-/// engine (see [`form_groups`]), and the counter
+/// engine (see [`form_groups`]), the kernel path counters
+/// (`core.kernel_dense_scores`, `core.kernel_sparse_scores`,
+/// `core.kernel_cache_hits` — see [`crate::kernel`]), and the counter
 /// `core.fallback_group_size` (size of the final leftover group).
 pub fn cahd_traced(
     data: &TransactionSet,
@@ -160,17 +179,18 @@ pub fn cahd_traced(
     }
     let counts = sensitive.occurrence_counts(data);
 
-    let mut scorer = QidOverlapScorer::new(&qid_of, data.n_items());
+    let mut kernel = SimilarityKernel::new(&qid_of, data.n_items(), config.kernel.resolved());
     let formed = form_groups(
         n,
         &sens_of,
         counts,
         sensitive.items(),
         config,
-        |t, cl, out| scorer.score(t, cl, out),
+        |t, cl, out| kernel.score(t, cl, out),
         FeasibilityCheck::Enforce,
         rec,
     )?;
+    kernel.flush_to(rec);
     rec.add("core.fallback_group_size", formed.leftover.len() as u64);
 
     let mut groups: Vec<AnonymizedGroup> = formed
@@ -196,42 +216,6 @@ pub fn cahd_traced(
         "CAHD must publish every transaction exactly once"
     );
     Ok((published, stats))
-}
-
-/// The binary QID-overlap scorer: `|QID(t) ∩ QID(c)|` via a stamped
-/// marker array, reused across pivots without clearing. Shared by the
-/// sequential entry point and the per-shard workers of
-/// [`crate::shard::cahd_sharded`] (each worker owns its own stamps).
-pub(crate) struct QidOverlapScorer<'a> {
-    qid_of: &'a [Vec<ItemId>],
-    item_stamp: Vec<u32>,
-    istamp: u32,
-}
-
-impl<'a> QidOverlapScorer<'a> {
-    /// A scorer over the given QID rows (indices into `qid_of`).
-    pub(crate) fn new(qid_of: &'a [Vec<ItemId>], n_items: usize) -> Self {
-        QidOverlapScorer {
-            qid_of,
-            item_stamp: vec![0u32; n_items],
-            istamp: 0,
-        }
-    }
-
-    /// Fills `out` with one overlap score per candidate.
-    pub(crate) fn score(&mut self, t: usize, candidates: &[usize], out: &mut Vec<u64>) {
-        self.istamp += 1;
-        for &it in &self.qid_of[t] {
-            self.item_stamp[it as usize] = self.istamp;
-        }
-        out.clear();
-        out.extend(candidates.iter().map(|&c| {
-            self.qid_of[c]
-                .iter()
-                .filter(|&&it| self.item_stamp[it as usize] == self.istamp)
-                .count() as u64
-        }));
-    }
 }
 
 /// Whether [`form_groups`] should reject inputs where no degree-`p`
@@ -277,7 +261,11 @@ pub(crate) struct FormedGroups {
 /// * counters `core.pivots_scanned` (sensitive pivots whose candidate list
 ///   was built; always `groups_formed + rollbacks +
 ///   insufficient_candidates`), `core.groups_formed`, `core.rollbacks`,
-///   `core.insufficient_candidates`, `core.candidates_scanned`;
+///   `core.insufficient_candidates`, `core.candidates_scanned` (candidates
+///   actually submitted to the scorer — pivots failing the `p - 1`
+///   candidate floor never score, so the kernel path counters
+///   `core.kernel_dense_scores + core.kernel_sparse_scores` sum to
+///   exactly this value);
 /// * histogram `core.candidate_list_len` (one observation per scanned
 ///   pivot).
 #[allow(clippy::too_many_arguments)]
@@ -365,7 +353,6 @@ pub(crate) fn form_groups(
         };
         walk(order.prev(t), true, &mut cl, &mut conflict_stamp, &order);
         walk(order.next(t), false, &mut cl, &mut conflict_stamp, &order);
-        stats.candidates_considered += cl.len() as u64;
         pivots_scanned += 1;
         if trace_on {
             cl_len_hist.observe(cl.len() as u64);
@@ -377,6 +364,7 @@ pub(crate) fn form_groups(
         }
 
         // --- Score candidates by QID similarity to t. ---
+        stats.candidates_considered += cl.len() as u64;
         score(t, &cl, &mut scores);
         strict_invariant_eq!(
             scores.len(),

@@ -1,0 +1,629 @@
+//! The adaptive sparse/dense QID-similarity kernel.
+//!
+//! CAHD's dominant cost (paper Section V, Fig. 8) is the QID-overlap
+//! score `|QID(t) ∩ QID(c)|`, recomputed for every candidate of every
+//! sensitive pivot — `alpha * p` set intersections per pivot. This module
+//! concentrates all of that scoring behind one layer with two
+//! interchangeable physical representations:
+//!
+//! * **sparse** — the stamped-marker scan: stamp the pivot's items into a
+//!   per-item epoch array, then count a candidate's stamped items. Cost is
+//!   `O(|QID(c)|)` random loads; unbeatable for short rows.
+//! * **dense** — the candidate's row packed into cache-line-aligned `u64`
+//!   bitset blocks, scored by an AND + `popcount` sweep against the
+//!   pivot's bitset. Cost is `O(n_items / 64)` sequential word ops;
+//!   unbeatable for long rows over a compact universe.
+//!
+//! [`SimilarityKernel`] picks per *candidate* (see
+//! [`SimilarityKernel::DENSE_ITEM_WORDS`] for the crossover rule), so a
+//! dataset with a dense head and a sparse long tail uses both paths in one
+//! run. Packing is lazy and cached: the band-order scan gives consecutive
+//! pivots heavily overlapping `alpha * p` candidate windows, so a bitset
+//! packed for one pivot is almost always reused by the next few — the
+//! cache of packed rows is exactly the "per-candidate partial result"
+//! that band order lets us keep. (The pivot-*dependent* half of the
+//! score, the intersection itself, is recomputed per pivot on purpose:
+//! a delta update against the previous pivot would have to inspect both
+//! pivot rows, which already costs as much as scoring from scratch.)
+//!
+//! Every scorer here shares the wrap-safe [`StampSet`] epoch allocator,
+//! which clears the marker array when the `u32` epoch overflows instead
+//! of letting stale stamps alias fresh ones.
+//!
+//! The kernel counts its path decisions ([`KernelStats`]) and flushes
+//! them to `cahd-obs` as `core.kernel_dense_scores`,
+//! `core.kernel_sparse_scores` and `core.kernel_cache_hits`; the
+//! `CAHD-O001` check pass audits `dense + sparse ==
+//! core.candidates_scanned` so accounting drift is caught in CI.
+
+use cahd_data::ItemId;
+use cahd_obs::Recorder;
+
+/// Which scoring path the kernel may take.
+///
+/// The published output is identical for every mode — the equivalence
+/// property suite pins scores item-for-item against the reference scorer —
+/// so the mode only moves time between the two paths. `ForceSparse` and
+/// `ForceDense` exist for benchmarking and for CI to exercise both paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Choose per candidate by the measured row length (the default).
+    #[default]
+    Adaptive,
+    /// Always take the stamped sparse scan (the pre-kernel behavior).
+    ForceSparse,
+    /// Always pack and score over bitset blocks. On a huge sparse
+    /// universe this packs every scored row, trading memory for the
+    /// sequential sweep; it is an explicit override, never chosen
+    /// adaptively.
+    ForceDense,
+}
+
+impl KernelMode {
+    /// Parses a mode name as used by `--kernel` and `CAHD_KERNEL`:
+    /// `adaptive`, `sparse` and `dense` (with `force-` prefixes accepted).
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s {
+            "adaptive" => Some(KernelMode::Adaptive),
+            "sparse" | "force-sparse" => Some(KernelMode::ForceSparse),
+            "dense" | "force-dense" => Some(KernelMode::ForceDense),
+            _ => None,
+        }
+    }
+
+    /// The mode named by the `CAHD_KERNEL` environment variable, if set
+    /// to a recognized value.
+    pub fn from_env() -> Option<KernelMode> {
+        std::env::var("CAHD_KERNEL")
+            .ok()
+            .and_then(|v| KernelMode::parse(v.trim()))
+    }
+
+    /// Resolves the effective mode: a recognized `CAHD_KERNEL` value
+    /// overrides the configured one (so CI can force either path through
+    /// any entry point without touching configs). Entry points resolve
+    /// once per run; unrecognized values are ignored.
+    pub fn resolved(self) -> KernelMode {
+        KernelMode::from_env().unwrap_or(self)
+    }
+
+    /// The canonical name ([`KernelMode::parse`] accepts it back).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Adaptive => "adaptive",
+            KernelMode::ForceSparse => "sparse",
+            KernelMode::ForceDense => "dense",
+        }
+    }
+}
+
+/// Path counters of a kernel instance. Deterministic functions of the
+/// scored workload and the mode — never of thread scheduling — so sums
+/// over shards are reproducible and the `CAHD-O001` identities hold for
+/// any layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Candidates scored by the bitset `popcount` path.
+    pub dense_scores: u64,
+    /// Candidates scored by the stamped sparse scan.
+    pub sparse_scores: u64,
+    /// Dense scores served from an already-packed bitset (a strict subset
+    /// of `dense_scores`): the candidate was packed while scoring an
+    /// earlier, overlapping pivot window.
+    pub cache_hits: u64,
+}
+
+impl KernelStats {
+    /// Total candidates scored, over both paths.
+    pub fn total_scores(&self) -> u64 {
+        self.dense_scores + self.sparse_scores
+    }
+
+    /// Flushes the three kernel counters into `rec` (zero counters are
+    /// dropped by the recorder). Additive, so per-shard kernels can each
+    /// flush into one recorder and the totals stay scheduling-invariant.
+    pub fn flush_to(&self, rec: &Recorder) {
+        rec.add("core.kernel_dense_scores", self.dense_scores);
+        rec.add("core.kernel_sparse_scores", self.sparse_scores);
+        rec.add("core.kernel_cache_hits", self.cache_hits);
+    }
+}
+
+/// A wrap-safe stamped marker set over `0..n`.
+///
+/// The classic trick: instead of clearing a membership array between
+/// pivots, bump an epoch and treat `stamp[i] == epoch` as membership.
+/// The latent failure mode is the epoch wrapping after `2^32` uses —
+/// entries stamped exactly `2^32` epochs ago would alias the fresh epoch
+/// and phantom-match. `begin` closes the hole by clearing the array and
+/// restarting the epoch at 1 when the counter would overflow, keeping
+/// the amortized cost at `O(1)` per use.
+#[derive(Clone, Debug)]
+pub(crate) struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    /// An empty set over the domain `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        StampSet {
+            stamp: vec![0u32; n],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new (empty) epoch, clearing the array on wrap.
+    pub(crate) fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Inserts `i` into the current epoch.
+    pub(crate) fn mark(&mut self, i: usize) {
+        self.stamp[i] = self.epoch;
+    }
+
+    /// Whether `i` was marked in the current epoch.
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Test hook: fast-forwards the epoch counter so the wrap path can be
+    /// exercised without `2^32` real pivots.
+    #[cfg(test)]
+    pub(crate) fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+/// The reference QID-overlap scorer: `|QID(t) ∩ QID(c)|` via the stamped
+/// sparse scan, always. This is the pre-kernel behavior (minus the stamp
+/// wrap bug) and the ground truth the equivalence property suite scores
+/// [`SimilarityKernel`] against.
+pub struct QidOverlapScorer<'a> {
+    qid_of: &'a [Vec<ItemId>],
+    stamps: StampSet,
+}
+
+impl<'a> QidOverlapScorer<'a> {
+    /// A scorer over the given QID rows (`score` takes indices into
+    /// `qid_of`); items must lie in `0..n_items`.
+    pub fn new(qid_of: &'a [Vec<ItemId>], n_items: usize) -> Self {
+        QidOverlapScorer {
+            qid_of,
+            stamps: StampSet::new(n_items),
+        }
+    }
+
+    /// Fills `out` with one overlap score per candidate.
+    pub fn score(&mut self, t: usize, candidates: &[usize], out: &mut Vec<u64>) {
+        let rows = self.qid_of;
+        self.stamps.begin();
+        for &it in &rows[t] {
+            self.stamps.mark(it as usize);
+        }
+        out.clear();
+        out.extend(candidates.iter().map(|&c| {
+            rows[c]
+                .iter()
+                .filter(|&&it| self.stamps.contains(it as usize))
+                .count() as u64
+        }));
+    }
+}
+
+/// The adaptive hybrid scorer. See the module docs for the two physical
+/// paths and the caching scheme; construction is cheap (no packing
+/// happens until a row is actually scored on the dense path).
+pub struct SimilarityKernel<'a> {
+    qid_of: &'a [Vec<ItemId>],
+    mode: KernelMode,
+    /// `u64` words needed to cover the item universe.
+    words: usize,
+    /// Arena stride: `words` rounded up to a whole 64-byte cache line, so
+    /// every packed row starts line-aligned relative to the arena base
+    /// and a score sweep touches the minimum number of lines.
+    stride: usize,
+    stamps: StampSet,
+    /// The pivot's bitset, rebuilt lazily: only when the current pivot
+    /// actually scores a dense candidate.
+    pivot_bits: Vec<u64>,
+    pivot_bits_valid: bool,
+    /// Per-row arena slot of the packed bitset, `u32::MAX` = not packed.
+    packed_slot: Vec<u32>,
+    /// Packed row bitsets, `stride` words each, append-only: rows never
+    /// change during a scan, so a packed bitset stays valid for the whole
+    /// run and grouping a row merely stops it from being looked up again.
+    arena: Vec<u64>,
+    stats: KernelStats,
+}
+
+/// Sentinel for "row not packed yet".
+const UNPACKED: u32 = u32::MAX;
+
+/// `u64` words per 64-byte cache line.
+const LINE_WORDS: usize = 8;
+
+impl<'a> SimilarityKernel<'a> {
+    /// Adaptive crossover: a candidate row goes dense when
+    /// `DENSE_ITEM_WORDS * |row| >= words`, i.e. (at the current value 1)
+    /// when the row averages at least one item per bitset word. A stamped
+    /// sparse probe is a dependent random load and a bitset word is a
+    /// sequential AND+`popcount`, so per-op the probe is costlier — but a
+    /// dense score also pays the first-touch packing of the candidate and
+    /// the lazy pivot-bitset build, so the break-even sits near one probe
+    /// per word, not several. Measured on the perf-snapshot profiles: a
+    /// factor of 4 sent BMS1's 2-item average rows (8-word universe) down
+    /// the dense path and cost ~10% of group time; at 1, those rows stay
+    /// sparse, BMS2's 5-items-in-53-words rows stay sparse, and
+    /// Quest-style dense rows (~50 items in 7 words) still go to
+    /// `popcount` for a 15-25% group-phase win.
+    pub const DENSE_ITEM_WORDS: usize = 1;
+
+    /// A kernel over the given QID rows (`score` takes indices into
+    /// `qid_of`); items must lie in `0..n_items`.
+    pub fn new(qid_of: &'a [Vec<ItemId>], n_items: usize, mode: KernelMode) -> Self {
+        let words = n_items.div_ceil(64);
+        let stride = words.next_multiple_of(LINE_WORDS).max(LINE_WORDS);
+        SimilarityKernel {
+            qid_of,
+            mode,
+            words,
+            stride,
+            stamps: StampSet::new(n_items),
+            pivot_bits: vec![0u64; words],
+            pivot_bits_valid: false,
+            packed_slot: vec![UNPACKED; qid_of.len()],
+            arena: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The path counters accumulated so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Flushes the kernel counters into `rec` (see
+    /// [`KernelStats::flush_to`]).
+    pub fn flush_to(&self, rec: &Recorder) {
+        self.stats.flush_to(rec);
+    }
+
+    /// Fills `out` with one overlap score per candidate, choosing the
+    /// physical path per candidate. Exactly equivalent to
+    /// [`QidOverlapScorer::score`] in every mode.
+    pub fn score(&mut self, t: usize, candidates: &[usize], out: &mut Vec<u64>) {
+        let rows = self.qid_of;
+        self.stamps.begin();
+        for &it in &rows[t] {
+            self.stamps.mark(it as usize);
+        }
+        self.pivot_bits_valid = false;
+        out.clear();
+        for &c in candidates {
+            let dense = match self.mode {
+                KernelMode::ForceSparse => false,
+                KernelMode::ForceDense => true,
+                KernelMode::Adaptive => Self::DENSE_ITEM_WORDS * rows[c].len() >= self.words,
+            };
+            let s = if dense {
+                self.score_dense(t, c)
+            } else {
+                self.score_sparse(c)
+            };
+            out.push(s);
+        }
+    }
+
+    fn score_sparse(&mut self, c: usize) -> u64 {
+        self.stats.sparse_scores += 1;
+        self.qid_of[c]
+            .iter()
+            .filter(|&&it| self.stamps.contains(it as usize))
+            .count() as u64
+    }
+
+    fn score_dense(&mut self, t: usize, c: usize) -> u64 {
+        self.stats.dense_scores += 1;
+        let rows = self.qid_of;
+        if !self.pivot_bits_valid {
+            self.pivot_bits.fill(0);
+            for &it in &rows[t] {
+                self.pivot_bits[(it as usize) >> 6] |= 1u64 << (it & 63);
+            }
+            self.pivot_bits_valid = true;
+        }
+        let base = match self.packed_slot[c] {
+            UNPACKED => {
+                let base = self.arena.len();
+                self.arena.resize(base + self.stride, 0);
+                for &it in &rows[c] {
+                    self.arena[base + ((it as usize) >> 6)] |= 1u64 << (it & 63);
+                }
+                self.packed_slot[c] = (base / self.stride) as u32;
+                base
+            }
+            slot => {
+                self.stats.cache_hits += 1;
+                slot as usize * self.stride
+            }
+        };
+        self.arena[base..base + self.words]
+            .iter()
+            .zip(&self.pivot_bits)
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+}
+
+/// The count-valued scorer behind
+/// [`WeightedSimilarity::MinCount`](crate::weighted::WeightedSimilarity):
+/// `Σ_{i ∈ QID(t) ∩ QID(c)} min(count_t(i), count_c(i))`. Counts cannot
+/// ride in a one-bit-per-item bitset, so this is a sparse-only kernel
+/// client — it shares the wrap-safe [`StampSet`] (the stamp carries the
+/// pivot's count alongside the epoch) and reports its work as sparse
+/// kernel scores.
+pub struct MinCountScorer<'a> {
+    qid_of: &'a [Vec<(ItemId, u32)>],
+    stamps: StampSet,
+    pivot_count: Vec<u32>,
+    stats: KernelStats,
+}
+
+impl<'a> MinCountScorer<'a> {
+    /// A scorer over the given `(item, count)` rows; items must lie in
+    /// `0..n_items`.
+    pub fn new(qid_of: &'a [Vec<(ItemId, u32)>], n_items: usize) -> Self {
+        MinCountScorer {
+            qid_of,
+            stamps: StampSet::new(n_items),
+            pivot_count: vec![0u32; n_items],
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The path counters accumulated so far (sparse only).
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Flushes the kernel counters into `rec` (see
+    /// [`KernelStats::flush_to`]).
+    pub fn flush_to(&self, rec: &Recorder) {
+        self.stats.flush_to(rec);
+    }
+
+    /// Fills `out` with one min-count similarity per candidate.
+    pub fn score(&mut self, t: usize, candidates: &[usize], out: &mut Vec<u64>) {
+        let rows = self.qid_of;
+        self.stamps.begin();
+        for &(item, c) in &rows[t] {
+            self.stamps.mark(item as usize);
+            self.pivot_count[item as usize] = c;
+        }
+        out.clear();
+        for &cand in candidates {
+            self.stats.sparse_scores += 1;
+            let s: u64 = rows[cand]
+                .iter()
+                .filter(|&&(item, _)| self.stamps.contains(item as usize))
+                .map(|&(item, c)| u64::from(c.min(self.pivot_count[item as usize])))
+                .sum();
+            out.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Universe for the mixed fixture: 1024 items = 16 words, so the
+    /// adaptive crossover needs 16+ items for the dense path — the ~25-item
+    /// head rows go dense, the 1-2-item tail stays sparse.
+    const N_ITEMS: usize = 1024;
+
+    /// A mixed fixture: dense head rows and a sparse long tail over a
+    /// universe wide enough that Adaptive takes both paths.
+    fn mixed_rows() -> Vec<Vec<ItemId>> {
+        let mut rows: Vec<Vec<ItemId>> = Vec::new();
+        for i in 0..12u32 {
+            // Dense rows: ~25 items each, shifted windows so overlaps vary.
+            rows.push((0..25).map(|j| (i * 3 + j) % 100).collect());
+        }
+        for i in 0..12u32 {
+            // Sparse tail: 1-2 items.
+            rows.push(if i % 2 == 0 {
+                vec![i % 100]
+            } else {
+                vec![i % 100, (i + 50) % 100]
+            });
+        }
+        for row in &mut rows {
+            row.sort_unstable();
+            row.dedup();
+        }
+        rows
+    }
+
+    fn assert_matches_reference(rows: &[Vec<ItemId>], n_items: usize, mode: KernelMode) {
+        let mut reference = QidOverlapScorer::new(rows, n_items);
+        let mut kernel = SimilarityKernel::new(rows, n_items, mode);
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for t in 0..rows.len() {
+            let candidates: Vec<usize> = (0..rows.len()).filter(|&c| c != t).collect();
+            reference.score(t, &candidates, &mut want);
+            kernel.score(t, &candidates, &mut got);
+            assert_eq!(got, want, "mode {mode:?}, pivot {t}");
+        }
+    }
+
+    #[test]
+    fn every_mode_matches_the_reference_scorer() {
+        let rows = mixed_rows();
+        for mode in [
+            KernelMode::Adaptive,
+            KernelMode::ForceSparse,
+            KernelMode::ForceDense,
+        ] {
+            assert_matches_reference(&rows, N_ITEMS, mode);
+        }
+    }
+
+    #[test]
+    fn adaptive_uses_both_paths_and_caches_across_windows() {
+        let rows = mixed_rows();
+        let mut kernel = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::Adaptive);
+        let mut out = Vec::new();
+        // Overlapping windows, like consecutive band-order pivots.
+        for t in 0..6 {
+            let candidates: Vec<usize> = (t + 1..t + 13).collect();
+            kernel.score(t, &candidates, &mut out);
+        }
+        let stats = kernel.stats();
+        assert!(stats.dense_scores > 0, "{stats:?}");
+        assert!(stats.sparse_scores > 0, "{stats:?}");
+        assert!(
+            stats.cache_hits > 0,
+            "overlapping windows must hit: {stats:?}"
+        );
+        assert!(stats.cache_hits < stats.dense_scores, "{stats:?}");
+        assert_eq!(stats.total_scores(), 6 * 12);
+    }
+
+    #[test]
+    fn force_modes_take_exactly_one_path() {
+        let rows = mixed_rows();
+        let candidates: Vec<usize> = (1..rows.len()).collect();
+        let mut out = Vec::new();
+        let mut dense = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::ForceDense);
+        dense.score(0, &candidates, &mut out);
+        assert_eq!(dense.stats().sparse_scores, 0);
+        assert_eq!(dense.stats().dense_scores, candidates.len() as u64);
+        let mut sparse = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::ForceSparse);
+        sparse.score(0, &candidates, &mut out);
+        assert_eq!(sparse.stats().dense_scores, 0);
+        assert_eq!(sparse.stats().sparse_scores, candidates.len() as u64);
+    }
+
+    /// The satellite regression test for the stamp-aliasing bug: with the
+    /// epoch forced next to `u32::MAX`, scoring must survive the wrap.
+    /// The pre-fix scorer (`istamp += 1` with no reset) would wrap the
+    /// epoch to 0 — the array's *initial* value — making every item of
+    /// every candidate phantom-match the pivot.
+    #[test]
+    fn reference_scorer_survives_stamp_wrap() {
+        let rows = mixed_rows();
+        let mut fresh = QidOverlapScorer::new(&rows, N_ITEMS);
+        let mut wrapping = QidOverlapScorer::new(&rows, N_ITEMS);
+        wrapping.stamps.force_epoch(u32::MAX - 2);
+        let candidates: Vec<usize> = (1..rows.len()).collect();
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        // Epochs MAX-1, MAX, then the wrap path (clear + epoch 1), then 2.
+        for t in 0..4 {
+            fresh.score(t, &candidates, &mut want);
+            wrapping.score(t, &candidates, &mut got);
+            assert_eq!(got, want, "pivot {t}");
+        }
+        assert_eq!(wrapping.stamps.epoch, 2, "wrap must restart the epoch");
+    }
+
+    #[test]
+    fn adaptive_kernel_survives_stamp_wrap() {
+        let rows = mixed_rows();
+        let mut fresh = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::Adaptive);
+        let mut wrapping = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::Adaptive);
+        wrapping.stamps.force_epoch(u32::MAX - 1);
+        let candidates: Vec<usize> = (1..rows.len()).collect();
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        for t in 0..3 {
+            fresh.score(t, &candidates, &mut want);
+            wrapping.score(t, &candidates, &mut got);
+            assert_eq!(got, want, "pivot {t}");
+        }
+    }
+
+    #[test]
+    fn min_count_scorer_survives_stamp_wrap() {
+        let rows: Vec<Vec<(ItemId, u32)>> = vec![
+            vec![(0, 5), (1, 3), (7, 2)],
+            vec![(0, 2), (1, 9)],
+            vec![(1, 1), (7, 4)],
+            vec![(2, 6)],
+        ];
+        let mut fresh = MinCountScorer::new(&rows, 10);
+        let mut wrapping = MinCountScorer::new(&rows, 10);
+        wrapping.stamps.force_epoch(u32::MAX - 1);
+        let candidates = vec![1usize, 2, 3];
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        for t in 0..3 {
+            fresh.score(t, &candidates, &mut want);
+            wrapping.score(t, &candidates, &mut got);
+            assert_eq!(got, want, "pivot {t}");
+        }
+        // Spot-check the min-count semantics while we are here:
+        // pivot 0 vs candidate 1 shares items 0 (min(5,2)=2) and 1
+        // (min(3,9)=3).
+        fresh.score(0, &[1], &mut want);
+        assert_eq!(want, vec![5]);
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [
+            KernelMode::Adaptive,
+            KernelMode::ForceSparse,
+            KernelMode::ForceDense,
+        ] {
+            assert_eq!(KernelMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(
+            KernelMode::parse("force-dense"),
+            Some(KernelMode::ForceDense)
+        );
+        assert_eq!(
+            KernelMode::parse("force-sparse"),
+            Some(KernelMode::ForceSparse)
+        );
+        assert_eq!(KernelMode::parse("quantum"), None);
+        assert_eq!(KernelMode::default(), KernelMode::Adaptive);
+    }
+
+    #[test]
+    fn empty_rows_and_tiny_universes_score_zero() {
+        let rows: Vec<Vec<ItemId>> = vec![vec![], vec![0], vec![]];
+        for mode in [
+            KernelMode::Adaptive,
+            KernelMode::ForceSparse,
+            KernelMode::ForceDense,
+        ] {
+            let mut kernel = SimilarityKernel::new(&rows, 1, mode);
+            let mut out = Vec::new();
+            kernel.score(0, &[1, 2], &mut out);
+            assert_eq!(out, vec![0, 0], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn stats_flush_is_additive_across_instances() {
+        let rows = mixed_rows();
+        let rec = Recorder::new();
+        for lo in [0usize, 6] {
+            let mut kernel = SimilarityKernel::new(&rows, N_ITEMS, KernelMode::Adaptive);
+            let mut out = Vec::new();
+            let candidates: Vec<usize> = (lo + 1..lo + 8).collect();
+            kernel.score(lo, &candidates, &mut out);
+            kernel.flush_to(&rec);
+        }
+        let report = rec.snapshot();
+        let dense = report.counter("core.kernel_dense_scores").unwrap_or(0);
+        let sparse = report.counter("core.kernel_sparse_scores").unwrap_or(0);
+        assert_eq!(dense + sparse, 14);
+    }
+}

@@ -47,6 +47,7 @@ pub mod error;
 pub mod group;
 pub mod histogram;
 mod invariant;
+pub mod kernel;
 pub mod order;
 pub mod pipeline;
 pub mod refine;
@@ -60,6 +61,7 @@ pub use cahd::{cahd, cahd_traced, CahdConfig, CahdStats};
 pub use diversity::{privacy_report, PrivacyReport};
 pub use error::CahdError;
 pub use group::{AnonymizedGroup, PublishedDataset};
+pub use kernel::{KernelMode, KernelStats, MinCountScorer, QidOverlapScorer, SimilarityKernel};
 pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult};
 pub use refine::{intra_group_overlap, refine_groups, RefineStats};
 pub use shard::{cahd_sharded, cahd_sharded_traced, ParallelConfig, ShardedStats};

@@ -282,6 +282,16 @@ mod tests {
                     + trace.counter("core.rollbacks").unwrap_or(0)
                     + trace.counter("core.insufficient_candidates").unwrap_or(0)
             );
+            // Every scanned candidate was scored by exactly one kernel path.
+            assert_eq!(
+                trace.counter("core.kernel_dense_scores").unwrap_or(0)
+                    + trace.counter("core.kernel_sparse_scores").unwrap_or(0),
+                trace.counter("core.candidates_scanned").unwrap_or(0)
+            );
+            assert!(
+                trace.counter("core.kernel_cache_hits").unwrap_or(0)
+                    <= trace.counter("core.kernel_dense_scores").unwrap_or(0)
+            );
             if !parallel.is_sequential() {
                 let scans = trace.histogram("core.shard_scan_ns").expect("shard hist");
                 assert_eq!(scans.count as usize, res.sharded_stats.unwrap().shards);

@@ -48,12 +48,11 @@ use std::time::Instant;
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 use cahd_obs::{Histogram, Recorder};
 
-use crate::cahd::{
-    cahd_traced, form_groups, make_group, CahdConfig, CahdStats, FeasibilityCheck, QidOverlapScorer,
-};
+use crate::cahd::{cahd_traced, form_groups, make_group, CahdConfig, CahdStats, FeasibilityCheck};
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
 use crate::invariant::{strict_invariant, strict_invariant_eq};
+use crate::kernel::SimilarityKernel;
 
 /// How to distribute the anonymization across shards and worker threads.
 ///
@@ -151,8 +150,11 @@ pub fn cahd_sharded(
 ///   deterministic merge plus the dissolve repair loop), both on the
 ///   calling thread;
 /// * the scheduling-invariant `core.*` engine counters of
-///   [`form_groups`], summed over shards (sums commute, so the totals are
-///   independent of which worker ran which shard), plus
+///   [`form_groups`] and the kernel path counters
+///   (`core.kernel_dense_scores`, `core.kernel_sparse_scores`,
+///   `core.kernel_cache_hits`, from each shard's own
+///   [`SimilarityKernel`]), summed over shards (sums commute, so the
+///   totals are independent of which worker ran which shard), plus
 ///   `core.merge_dissolved` and `core.fallback_group_size`;
 /// * histogram `core.shard_scan_ns` — one observation per shard with its
 ///   scan wall-clock (values are scheduling-dependent; the *count* is
@@ -224,6 +226,9 @@ pub fn cahd_sharded_traced(
     // Balanced contiguous boundaries: shard i covers [i*n/k, (i+1)*n/k).
     let bounds: Vec<(usize, usize)> = (0..k).map(|i| (i * n / k, (i + 1) * n / k)).collect();
 
+    // Resolve the kernel mode once so every shard takes the same path
+    // (the env override is read a single time per run, not per worker).
+    let kernel_mode = config.kernel.resolved();
     let run_shard = |i: usize| -> Result<ShardOutcome, CahdError> {
         let t_shard = Instant::now();
         let (lo, hi) = bounds[i];
@@ -234,17 +239,20 @@ pub fn cahd_sharded_traced(
                 shard_counts[r] += 1;
             }
         }
-        let mut scorer = QidOverlapScorer::new(&qid_of[lo..hi], data.n_items());
+        let mut kernel = SimilarityKernel::new(&qid_of[lo..hi], data.n_items(), kernel_mode);
         let formed = form_groups(
             hi - lo,
             shard_sens,
             shard_counts,
             sensitive.items(),
             config,
-            |t, cl, out| scorer.score(t, cl, out),
+            |t, cl, out| kernel.score(t, cl, out),
             FeasibilityCheck::Skip,
             rec,
         )?;
+        // Per-shard kernels flush into the shared recorder; counter adds
+        // commute, so the totals are independent of worker scheduling.
+        kernel.flush_to(rec);
         Ok(ShardOutcome {
             groups: formed.groups,
             leftover: formed.leftover,

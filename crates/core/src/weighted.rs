@@ -26,6 +26,7 @@ use crate::cahd::{form_groups, CahdConfig, CahdStats, FeasibilityCheck};
 use crate::error::CahdError;
 use crate::group::{AnonymizedGroup, PublishedDataset};
 use crate::invariant::strict_invariant;
+use crate::kernel::{MinCountScorer, SimilarityKernel};
 
 /// How candidate similarity is computed from counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -151,39 +152,45 @@ pub fn cahd_weighted(
         sens_of.push(s);
     }
 
-    // Weighted QID scorer: stamped marker carrying the pivot's counts.
-    let mut item_stamp = vec![0u32; data.n_items()];
-    let mut item_count = vec![0u32; data.n_items()];
-    let mut istamp = 0u32;
-    let scorer = |t: usize, candidates: &[usize], out: &mut Vec<u64>| {
-        istamp += 1;
-        for &(item, c) in &qid_of[t] {
-            item_stamp[item as usize] = istamp;
-            item_count[item as usize] = c;
-        }
-        out.clear();
-        out.extend(candidates.iter().map(|&cand| {
-            qid_of[cand]
+    // Both similarities score through the kernel layer (crate::kernel).
+    // PresenceOverlap is the binary overlap on the item sets, so it rides
+    // the adaptive sparse/dense kernel directly; MinCount needs the
+    // pivot's counts alongside the stamps, which a one-bit bitset cannot
+    // carry, so it uses the sparse-only count scorer.
+    let rec = cahd_obs::Recorder::disabled();
+    let formed = match similarity {
+        WeightedSimilarity::PresenceOverlap => {
+            let binary_qid: Vec<Vec<ItemId>> = qid_of
                 .iter()
-                .filter(|&&(item, _)| item_stamp[item as usize] == istamp)
-                .map(|&(item, c)| match similarity {
-                    WeightedSimilarity::PresenceOverlap => 1u64,
-                    WeightedSimilarity::MinCount => c.min(item_count[item as usize]) as u64,
-                })
-                .sum::<u64>()
-        }));
+                .map(|row| row.iter().map(|&(item, _)| item).collect())
+                .collect();
+            let mut kernel =
+                SimilarityKernel::new(&binary_qid, data.n_items(), config.kernel.resolved());
+            form_groups(
+                n,
+                &sens_of,
+                counts,
+                sensitive.items(),
+                config,
+                |t, cl, out| kernel.score(t, cl, out),
+                FeasibilityCheck::Enforce,
+                &rec,
+            )?
+        }
+        WeightedSimilarity::MinCount => {
+            let mut scorer = MinCountScorer::new(&qid_of, data.n_items());
+            form_groups(
+                n,
+                &sens_of,
+                counts,
+                sensitive.items(),
+                config,
+                |t, cl, out| scorer.score(t, cl, out),
+                FeasibilityCheck::Enforce,
+                &rec,
+            )?
+        }
     };
-
-    let formed = form_groups(
-        n,
-        &sens_of,
-        counts,
-        sensitive.items(),
-        config,
-        scorer,
-        FeasibilityCheck::Enforce,
-        &cahd_obs::Recorder::disabled(),
-    )?;
 
     let make = |members: &[usize]| -> WeightedGroup {
         let mut scounts = vec![0u32; sensitive.len()];

@@ -69,6 +69,28 @@ pub fn fig6_config(correlation: f64) -> QuestConfig {
     }
 }
 
+/// A deliberately dense workload for the similarity-kernel benchmarks:
+/// a narrow 400-item universe with ~60 items per transaction, so nearly
+/// every QID row crosses the adaptive kernel's density threshold (see
+/// `cahd_core::kernel`) and candidate scoring runs on the packed-bitset
+/// path. `scale` applies to the 16,000-transaction baseline.
+pub fn dense_config(scale: f64) -> QuestConfig {
+    QuestConfig {
+        n_transactions: scaled(16_000, scale),
+        n_items: 400,
+        avg_txn_len: 60.0,
+        max_txn_len: usize::MAX,
+        n_patterns: 40,
+        avg_pattern_len: 12.0,
+        correlation: 0.5,
+        corruption_mean: 0.35,
+        corruption_sd: 0.1,
+        item_skew: 0.0,
+        tail_prob: 0.0,
+        tail_len_mean: 50.0,
+    }
+}
+
 /// Generates a BMS1-like dataset.
 pub fn bms1_like(scale: f64, seed: u64) -> TransactionSet {
     QuestGenerator::new(bms1_config(scale), seed).generate()
@@ -82,6 +104,11 @@ pub fn bms2_like(scale: f64, seed: u64) -> TransactionSet {
 /// Generates the Fig. 6 workload for a given correlation degree.
 pub fn fig6_like(correlation: f64, seed: u64) -> TransactionSet {
     QuestGenerator::new(fig6_config(correlation), seed).generate()
+}
+
+/// Generates the dense kernel-benchmark workload.
+pub fn dense_like(scale: f64, seed: u64) -> TransactionSet {
+    QuestGenerator::new(dense_config(scale), seed).generate()
 }
 
 fn scaled(n: usize, scale: f64) -> usize {
@@ -132,6 +159,17 @@ mod tests {
             "avg {}",
             s.avg_length
         );
+    }
+
+    #[test]
+    fn dense_profile_crosses_the_kernel_density_threshold() {
+        let t = dense_like(0.0125, 3);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, 200);
+        assert_eq!(s.items, 400);
+        // words = ceil(400 / 64) = 7; dense eligibility needs 4*len >= 7,
+        // i.e. rows of >= 2 items — the average must sit far above that.
+        assert!(s.avg_length > 20.0, "avg {}", s.avg_length);
     }
 
     #[test]

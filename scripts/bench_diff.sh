@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Diffs two BENCH_<epoch-secs>.json perf snapshots (see
+# crates/bench/src/bin/bench_diff.rs): per-phase wall-clock deltas plus
+# the deterministic work counters, flagging phases >10% slower.
+#
+#   scripts/bench_diff.sh bench-snapshots/BENCH_A.json bench-snapshots/BENCH_B.json
+#   scripts/bench_diff.sh --threshold 5 --fail-on-regression A.json B.json
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p cahd-bench --bin bench_diff -- "$@"
