@@ -48,7 +48,7 @@ mod report;
 
 pub use diagnostic::{Diagnostic, Severity};
 pub use passes::{
-    BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity,
+    BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity, Recovery,
     SensitiveSummary, ShardMerge, TraceObs,
 };
 pub use report::CheckReport;
@@ -111,7 +111,7 @@ impl Registry {
 
 /// The full built-in registry: config sanity, feasibility, coverage, QID
 /// fidelity, sensitive summaries, privacy degree, shard-merge integrity,
-/// band quality and trace-report integrity.
+/// band quality, trace-report integrity and recovery accounting.
 pub fn default_registry() -> Registry {
     Registry::new()
         .register(ConfigSanity)
@@ -123,6 +123,7 @@ pub fn default_registry() -> Registry {
         .register(ShardMerge)
         .register(BandQuality)
         .register(TraceObs)
+        .register(Recovery)
 }
 
 #[cfg(test)]
@@ -168,7 +169,7 @@ mod tests {
         let (data, sens, pub_) = setup();
         let report = run(&data, &sens, &pub_, 2);
         assert!(report.is_clean(), "{}", report.render_human());
-        assert_eq!(report.passes_run.len(), 9);
+        assert_eq!(report.passes_run.len(), 10);
     }
 
     #[test]
@@ -389,6 +390,91 @@ mod tests {
             "{}",
             report.render_human()
         );
+    }
+
+    #[test]
+    fn recovery_pass_accepts_real_recoveries_and_flags_fabricated_ones() {
+        use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+        use cahd_core::recovery::{silence_injected_panics, FaultPlan, RecoveryConfig, ShardFault};
+        use cahd_core::shard::ParallelConfig;
+        use cahd_obs::Recorder;
+        silence_injected_panics();
+        let rows = vec![
+            vec![0, 1, 4],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3, 5],
+            vec![0, 3],
+            vec![1, 2],
+            vec![1, 1, 99], // quarantined: duplicate + out-of-range item
+            vec![0, 2],
+        ];
+        let sens = SensitiveSet::new(vec![4, 5], 6);
+        let recovery = RecoveryConfig::quarantine().with_plan(FaultPlan::none().with_shard_fault(
+            0,
+            ShardFault::Panic,
+            1,
+        ));
+        let rec = Recorder::new();
+        let robust = Anonymizer::new(
+            AnonymizerConfig::with_privacy_degree(2).with_parallel(ParallelConfig::new(2, 2)),
+        )
+        .anonymize_rows_traced(&rows, &sens, &recovery, &rec)
+        .unwrap();
+        assert_eq!(robust.quarantined, vec![6]);
+        assert_eq!(robust.recovered_shards, 1);
+        let trace = robust.result.trace.expect("traced run yields a report");
+        let input = |trace| CheckInput {
+            data: &robust.data,
+            sensitive: &sens,
+            published: &robust.result.published,
+            p: 2,
+            trace,
+        };
+        let report = default_registry().run(&input(Some(&trace)));
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(report.passes_run.contains(&"recovery"));
+
+        // Fabricate quarantined rows beyond what the release can hold.
+        let mut bad = trace.clone();
+        bad.counters
+            .iter_mut()
+            .find(|c| c.name == "core.quarantined_rows")
+            .expect("quarantine was recorded")
+            .value = 100;
+        let report = Registry::new().register(Recovery).run(&input(Some(&bad)));
+        assert_eq!(report.diagnostics.len(), 2, "{}", report.render_human());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "CAHD-R001" && d.severity == Severity::Error));
+
+        // A recovered shard outside a sharded run is a fabricated counter.
+        let mut bad = trace.clone();
+        bad.gauges.retain(|g| g.name != "core.shards");
+        let report = Registry::new().register(Recovery).run(&input(Some(&bad)));
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("outside a sharded run")),
+            "{}",
+            report.render_human()
+        );
+
+        // More recoveries than shards.
+        let mut bad = trace.clone();
+        bad.counters
+            .iter_mut()
+            .find(|c| c.name == "core.recovered_shards")
+            .expect("recovery was recorded")
+            .value = 9;
+        let report = Registry::new().register(Recovery).run(&input(Some(&bad)));
+        assert!(!report.is_clean(), "{}", report.render_human());
+
+        // Without a trace the pass is a no-op.
+        let report = Registry::new().register(Recovery).run(&input(None));
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -536,3 +536,89 @@ impl Pass for TraceObs {
         }
     }
 }
+
+/// `CAHD-R001` — recovery accounting: the release's recovery counters are
+/// consistent with each other and with the release itself.
+///
+/// Recovery actions (shard retries/fallbacks, row quarantine, stream
+/// resumes) are *silent* by design — the release still verifies — so this
+/// pass is the only place their bookkeeping is audited:
+///
+/// * quarantined rows end up in the final (leftover) group, so
+///   `core.quarantined_rows` can exceed neither the accumulated
+///   `core.fallback_group_size` nor the number of published transactions;
+/// * `core.recovered_shards` implies a sharded run: the `core.shards`
+///   gauge must be present and at least as large (a recovery without a
+///   shard is a fabricated counter).
+///
+/// `core.resumed_batches` has no cross-check (any count of successful
+/// resumes is coherent on its own); it is surfaced by the trace itself.
+/// A missing counter reads as zero, so untraced or non-recovering runs
+/// stay quiet. When [`CheckInput::trace`] is `None` the pass is a no-op.
+pub struct Recovery;
+
+impl Recovery {
+    fn finding(out: &mut Vec<Diagnostic>, message: String) {
+        out.push(Diagnostic::error("CAHD-R001", message));
+    }
+}
+
+impl Pass for Recovery {
+    fn name(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-R001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "recovery counters (quarantine, shard retries, resumes) are coherent"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(trace) = input.trace else {
+            return;
+        };
+        let counter = |name: &str| trace.counter(name).unwrap_or(0);
+
+        let quarantined = counter("core.quarantined_rows");
+        let fallback = counter("core.fallback_group_size");
+        if quarantined > fallback {
+            Self::finding(
+                out,
+                format!(
+                    "quarantine accounting broken: {quarantined} quarantined rows but the \
+                     final-group counter only accumulated {fallback}"
+                ),
+            );
+        }
+        let published = input.published.n_transactions() as u64;
+        if quarantined > published {
+            Self::finding(
+                out,
+                format!(
+                    "{quarantined} quarantined rows exceed the {published} published \
+                     transactions"
+                ),
+            );
+        }
+        let recovered = counter("core.recovered_shards");
+        if recovered > 0 {
+            match trace.gauge("core.shards") {
+                None => Self::finding(
+                    out,
+                    format!(
+                        "{recovered} recovered shards recorded but no core.shards gauge: \
+                         recovery cannot happen outside a sharded run"
+                    ),
+                ),
+                Some(shards) if (recovered as f64) > shards => Self::finding(
+                    out,
+                    format!("{recovered} recovered shards exceed the {shards}-shard run"),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}

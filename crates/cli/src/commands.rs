@@ -6,13 +6,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cahd_baselines::{perm_mondrian, random_grouping, PmConfig};
+use cahd_core::checkpoint::StreamingCheckpoint;
 use cahd_core::diversity::privacy_report;
 use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+use cahd_core::recovery::{sanitize_row, RecoveryConfig};
 use cahd_core::shard::ParallelConfig;
+use cahd_core::streaming::{ReleaseChunk, StreamingAnonymizer};
 use cahd_core::weighted::{anonymize_weighted, verify_weighted, WeightedSimilarity};
-use cahd_core::{verify_published, CahdConfig, KernelMode, PublishedDataset};
+use cahd_core::{verify_published, AnonymizedGroup, CahdConfig, KernelMode, PublishedDataset};
 use cahd_data::{
-    io, profiles, DatasetStats, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
+    io, profiles, DatasetStats, ItemId, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
 };
 use cahd_eval::{
     evaluate_workload, evaluate_workload_traced, generate_workload_seeded,
@@ -233,6 +236,30 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         name: "kernel",
         takes_value: true,
     },
+    FlagSpec {
+        name: "bad-input",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "items",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "stream-batch",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "checkpoint",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "resume",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "max-batches",
+        takes_value: true,
+    },
 ];
 
 /// Parses `--kernel {adaptive|sparse|dense}` (default: adaptive). The
@@ -270,6 +297,29 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
             ));
         }
         return anonymize_weighted_cmd(args, p, seed);
+    }
+    if args.value("stream-batch").is_some() {
+        if tracing {
+            return Err(CliError::Usage(
+                "--trace-json/--metrics are not supported with --stream-batch".into(),
+            ));
+        }
+        return anonymize_stream_cmd(args, p);
+    }
+    for flag in ["checkpoint", "max-batches"] {
+        if args.value(flag).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{flag} requires --stream-batch <n>"
+            )));
+        }
+    }
+    if args.has("resume") {
+        return Err(CliError::Usage(
+            "--resume requires --stream-batch <n>".into(),
+        ));
+    }
+    if args.value("bad-input").is_some() {
+        return anonymize_robust_cmd(args, p, seed);
     }
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
@@ -379,6 +429,289 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
         out.push_str(&format!("weighted release written to {path}\n"));
     }
     Ok(out)
+}
+
+/// Builds the cahd engine configuration shared by the plain, robust and
+/// streaming anonymize paths.
+fn anonymizer_config_from_args(args: &Args, p: usize) -> Result<AnonymizerConfig, CliError> {
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    cfg.cahd = CahdConfig::new(p)
+        .with_alpha(args.parse_or("alpha", 3usize)?)
+        .with_kernel(kernel_from_args(args)?);
+    if args.has("no-rcm") {
+        cfg = cfg.without_rcm();
+    }
+    let shards: usize = args.parse_or("shards", 1)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    if shards > 1 || threads > 1 {
+        cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
+    }
+    Ok(cfg)
+}
+
+/// Parses `--bad-input {strict|quarantine}`.
+fn recovery_from_args(args: &Args) -> Result<RecoveryConfig, CliError> {
+    match args.value("bad-input") {
+        None | Some("strict") => Ok(RecoveryConfig::strict()),
+        Some("quarantine") => Ok(RecoveryConfig::quarantine()),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown --bad-input policy {other:?}; expected strict or quarantine"
+        ))),
+    }
+}
+
+/// Reads a `.dat` file as *raw* rows (duplicates and order preserved, so
+/// malformed rows are visible to the ingestion policy) plus the item
+/// universe: the larger of the inferred `max_id + 1` and `--items`.
+fn load_rows(args: &Args) -> Result<(Vec<Vec<ItemId>>, usize), CliError> {
+    let path = args.positional(0, "data.dat")?;
+    if !Path::new(path).exists() {
+        return Err(CliError::Run(format!("no such file: {path}")));
+    }
+    let file = std::fs::File::open(path).map_err(io_to_run(path))?;
+    let (rows, inferred) =
+        io::read_dat_rows(std::io::BufReader::new(file)).map_err(io_to_run(path))?;
+    let d = inferred.max(args.parse_or("items", 0usize)?);
+    Ok((rows, d))
+}
+
+fn io_to_run(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |e| CliError::Run(format!("{path}: {e}"))
+}
+
+/// The `--bad-input` path of [`anonymize`]: raw rows go through the
+/// robust pipeline, which rejects (strict) or quarantines corrupt rows
+/// into the final group instead of trusting the normalizing reader to
+/// paper over them.
+fn anonymize_robust_cmd(args: &Args, p: usize, seed: u64) -> Result<String, CliError> {
+    if args.value("method").unwrap_or("cahd") != "cahd" {
+        return Err(CliError::Usage(
+            "--bad-input is only supported with --method cahd".into(),
+        ));
+    }
+    let policy = args.value("bad-input").unwrap_or("strict");
+    let recovery = recovery_from_args(args)?;
+    let (rows, d) = load_rows(args)?;
+    // Sensitive-set selection needs a normalized view; sanitizing first
+    // keeps out-of-range ids in corrupt rows from poisoning the universe.
+    let sanitized: Vec<Vec<ItemId>> = rows.iter().map(|r| sanitize_row(r, d)).collect();
+    let norm = TransactionSet::from_rows(&sanitized, d);
+    let sensitive = sensitive_from_args(args, &norm, p, seed)?;
+    let tracing = args.value("trace-json").is_some() || args.has("metrics");
+    let rec = if tracing {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let robust = Anonymizer::new(anonymizer_config_from_args(args, p)?)
+        .anonymize_rows_traced(&rows, &sensitive, &recovery, &rec)?;
+    let mut published = robust.result.published;
+    if args.has("refine") {
+        cahd_core::refine::refine_groups(&mut published, &robust.data, &sensitive, p, 2, 3);
+    }
+    verify_published(&robust.data, &sensitive, &published, p)
+        .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
+    let degree = published.privacy_degree();
+    let n_groups = published.n_groups();
+    let to_write = if args.has("strip-members") {
+        published.strip_members()
+    } else {
+        published
+    };
+    let mut out = format!(
+        "method cahd ({policy}), p {p}: {n_groups} groups, privacy degree {degree:?}, \
+         {} quarantined rows, {} recovered shards, verified\n",
+        robust.quarantined.len(),
+        robust.recovered_shards,
+    );
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, serde_json::to_string(&to_write)?)?;
+        out.push_str(&format!("release written to {path}\n"));
+    }
+    if let Some(trace) = &robust.result.trace {
+        if let Some(path) = args.value("trace-json") {
+            std::fs::write(path, serde_json::to_string_pretty(trace)?)?;
+            out.push_str(&format!("trace written to {path}\n"));
+        }
+        if args.has("metrics") {
+            out.push_str(&trace.render_human());
+        }
+    }
+    Ok(out)
+}
+
+/// The `--stream-batch` path of [`anonymize`]: feed the file through
+/// [`StreamingAnonymizer`] batch by batch. With `--checkpoint <dir>` every
+/// released chunk and a sealed checkpoint land in the directory, so a
+/// killed run resumes with `--resume` exactly where it stopped
+/// (already-released chunks are never recomputed); `--max-batches N`
+/// pauses deliberately after `N` releases. At the end the chunks merge
+/// into one release, re-verified against the whole dataset.
+fn anonymize_stream_cmd(args: &Args, p: usize) -> Result<String, CliError> {
+    if args.value("method").unwrap_or("cahd") != "cahd" {
+        return Err(CliError::Usage(
+            "--stream-batch is only supported with --method cahd".into(),
+        ));
+    }
+    let batch: usize = args.parse_or("stream-batch", 0)?;
+    if batch < 2 * p {
+        return Err(CliError::Usage(format!(
+            "--stream-batch must be at least 2p ({batch} < {})",
+            2 * p
+        )));
+    }
+    let Some(items) = args.parse_list("sensitive")? else {
+        return Err(CliError::Usage(
+            "--stream-batch requires an explicit --sensitive list".into(),
+        ));
+    };
+    let recovery = recovery_from_args(args)?;
+    let (rows, mut d) = load_rows(args)?;
+    d = d.max(items.iter().map(|&i| i as usize + 1).max().unwrap_or(0));
+    let sensitive = SensitiveSet::new(items, d);
+    let cfg = anonymizer_config_from_args(args, p)?;
+    let ckpt_dir = args.value("checkpoint");
+    let max_batches: usize = args.parse_or("max-batches", usize::MAX)?;
+    if (args.has("resume") || max_batches != usize::MAX) && ckpt_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume/--max-batches require --checkpoint <dir>".into(),
+        ));
+    }
+
+    let mut out = String::new();
+    let mut chunks: Vec<ReleaseChunk> = Vec::new();
+    let mut chunk_idx = 0usize;
+    let mut stream = if args.has("resume") {
+        let dir = ckpt_dir.expect("checked above");
+        let cp_path = format!("{dir}/checkpoint.json");
+        let text = std::fs::read_to_string(&cp_path)
+            .map_err(|e| CliError::Run(format!("cannot read {cp_path}: {e}")))?;
+        let cp: StreamingCheckpoint = serde_json::from_str(&text)?;
+        while Path::new(&chunk_path(dir, chunk_idx)).exists() {
+            chunk_idx += 1;
+        }
+        out.push_str(&format!(
+            "resumed from {cp_path} (stream position {}, {chunk_idx} chunks released)\n",
+            cp.next_id
+        ));
+        StreamingAnonymizer::resume(cfg, sensitive.clone(), &cp)?.with_recovery(recovery)
+    } else {
+        if let Some(dir) = ckpt_dir {
+            std::fs::create_dir_all(dir).map_err(io_to_run(dir))?;
+        }
+        StreamingAnonymizer::new(cfg, sensitive.clone(), batch).with_recovery(recovery)
+    };
+    let start = usize::try_from(stream.next_stream_id()).unwrap_or(usize::MAX);
+    if start > rows.len() {
+        return Err(CliError::Run(format!(
+            "checkpoint is ahead of the input: stream position {start} > {} rows",
+            rows.len()
+        )));
+    }
+
+    let mut released_now = 0usize;
+    for row in &rows[start..] {
+        let released = stream
+            .push(row.clone())
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        if let Some(chunk) = released {
+            if let Some(dir) = ckpt_dir {
+                persist_chunk(dir, chunk_idx, &chunk, &stream.checkpoint())?;
+            }
+            chunks.push(chunk);
+            chunk_idx += 1;
+            released_now += 1;
+            if released_now >= max_batches {
+                out.push_str(&format!(
+                    "paused after {released_now} batches ({} rows buffered); \
+                     rerun with --resume to continue\n",
+                    stream.buffered()
+                ));
+                return Ok(out);
+            }
+        }
+    }
+    if let Some(chunk) = stream.finish().map_err(|e| CliError::Run(e.to_string()))? {
+        if let Some(dir) = ckpt_dir {
+            persist_chunk(dir, chunk_idx, &chunk, &stream.checkpoint())?;
+        }
+        chunks.push(chunk);
+        chunk_idx += 1;
+    }
+
+    // Merge every chunk — including ones released by earlier, interrupted
+    // runs — into a single release over the whole (sanitized) dataset.
+    let all_chunks: Vec<ReleaseChunk> = match ckpt_dir {
+        Some(dir) => {
+            let mut all = Vec::with_capacity(chunk_idx);
+            for i in 0..chunk_idx {
+                let path = chunk_path(dir, i);
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| CliError::Run(format!("cannot read {path}: {e}")))?;
+                all.push(serde_json::from_str(&text)?);
+            }
+            all
+        }
+        None => chunks,
+    };
+    let sanitized: Vec<Vec<ItemId>> = rows.iter().map(|r| sanitize_row(r, d)).collect();
+    let data = TransactionSet::from_rows(&sanitized, d);
+    let mut groups = Vec::new();
+    for chunk in &all_chunks {
+        for g in &chunk.published.groups {
+            let mut members: Vec<u32> = g
+                .members
+                .iter()
+                .map(|&m| u32::try_from(chunk.stream_ids[m as usize]).unwrap_or(u32::MAX))
+                .collect();
+            members.sort_unstable();
+            groups.push(AnonymizedGroup::from_members(&data, &sensitive, &members));
+        }
+    }
+    let merged = PublishedDataset {
+        n_items: d,
+        sensitive_items: sensitive.items().to_vec(),
+        groups,
+    };
+    verify_published(&data, &sensitive, &merged, p)
+        .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
+    out.push_str(&format!(
+        "method cahd (streaming), p {p}: {} chunks, {} groups over {} transactions, \
+         {} carried over, verified\n",
+        all_chunks.len(),
+        merged.n_groups(),
+        merged.n_transactions(),
+        stream.carried_over(),
+    ));
+    let to_write = if args.has("strip-members") {
+        merged.strip_members()
+    } else {
+        merged
+    };
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, serde_json::to_string(&to_write)?)?;
+        out.push_str(&format!("release written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn chunk_path(dir: &str, idx: usize) -> String {
+    format!("{dir}/chunk-{idx:04}.json")
+}
+
+/// Writes a released chunk and the post-release checkpoint atomically
+/// enough for the resume workflow: the chunk first, then the checkpoint
+/// that says it was released (a crash between the two re-releases a chunk
+/// file, which the next run simply overwrites with identical bytes).
+fn persist_chunk(
+    dir: &str,
+    idx: usize,
+    chunk: &ReleaseChunk,
+    cp: &StreamingCheckpoint,
+) -> Result<(), CliError> {
+    std::fs::write(chunk_path(dir, idx), serde_json::to_string(chunk)?)?;
+    std::fs::write(format!("{dir}/checkpoint.json"), serde_json::to_string(cp)?)?;
+    Ok(())
 }
 
 /// `report <release.json>`: privacy audit of a release.
@@ -1111,6 +1444,187 @@ mod tests {
         for f in [&data_f, &rel_f, &trace_f] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn bad_input_policies_reject_or_quarantine() {
+        let data_f = tmp("badinput.dat");
+        let rel_f = tmp("badinput.json");
+        let mut lines = String::new();
+        for i in 0..12 {
+            lines.push_str(&format!("{}\n", i % 4));
+        }
+        lines.push_str("0 5\n1 5\n");
+        lines.push_str("2 2\n"); // corrupt: duplicate item (row 14)
+        std::fs::write(&data_f, &lines).unwrap();
+        let base = [data_f.as_str(), "--p", "2", "--sensitive", "5"];
+        // Strict names the offending row and fails.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--bad-input", "strict"]);
+        let err = anonymize(&parse(ANONYMIZE_FLAGS, &argv));
+        let Err(CliError::Run(msg)) = err else {
+            panic!("expected CliError::Run, got {err:?}");
+        };
+        assert!(msg.contains("corrupt input row 14"), "{msg}");
+        // Quarantine publishes everything, corrupt row included.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--bad-input", "quarantine", "--out", &rel_f]);
+        let out = anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        assert!(out.contains("1 quarantined rows"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+        assert_eq!(load_release(&rel_f).unwrap().n_transactions(), 15);
+        // A clean file under strict is byte-identical to the default path.
+        let clean_f = tmp("badinput_clean.dat");
+        let rel_def = tmp("badinput_def.json");
+        let rel_strict = tmp("badinput_strict.json");
+        std::fs::write(&clean_f, lines.replace("2 2\n", "2 3\n")).unwrap();
+        let clean = [clean_f.as_str(), "--p", "2", "--sensitive", "5"];
+        let mut argv = clean.to_vec();
+        argv.extend_from_slice(&["--out", &rel_def]);
+        anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        let mut argv = clean.to_vec();
+        argv.extend_from_slice(&["--bad-input", "strict", "--out", &rel_strict]);
+        anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        assert_eq!(
+            std::fs::read(&rel_def).unwrap(),
+            std::fs::read(&rel_strict).unwrap()
+        );
+        for f in [&data_f, &rel_f, &clean_f, &rel_def, &rel_strict] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn streaming_pause_and_resume_match_an_uninterrupted_run() {
+        let data_f = tmp("stream.dat");
+        let rel_one = tmp("stream_one.json");
+        let rel_two = tmp("stream_two.json");
+        let ckpt = tmp("stream_ckpt");
+        let mut lines = String::new();
+        for i in 0..180 {
+            let sens = if i % 20 == 0 { " 9" } else { "" };
+            lines.push_str(&format!("{} {}{sens}\n", i % 5, 5 + i % 3));
+        }
+        std::fs::write(&data_f, lines).unwrap();
+        let base = [data_f.as_str(), "--p", "3", "--sensitive", "9"];
+        // Uninterrupted streaming run, no checkpointing.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--stream-batch", "50", "--out", &rel_one]);
+        let out = anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        assert!(out.contains("streaming"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+        // Same stream, paused after 2 batches, then resumed.
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&[
+            "--stream-batch",
+            "50",
+            "--checkpoint",
+            &ckpt,
+            "--max-batches",
+            "2",
+        ]);
+        let out = anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        assert!(out.contains("paused after 2 batches"), "{out}");
+        assert!(Path::new(&format!("{ckpt}/checkpoint.json")).exists());
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&[
+            "--stream-batch",
+            "50",
+            "--checkpoint",
+            &ckpt,
+            "--resume",
+            "--out",
+            &rel_two,
+        ]);
+        let out = anonymize(&parse(ANONYMIZE_FLAGS, &argv)).unwrap();
+        assert!(out.contains("resumed from"), "{out}");
+        assert_eq!(
+            load_release(&rel_one).unwrap(),
+            load_release(&rel_two).unwrap()
+        );
+        // The released chunks themselves verify: the merged release covers
+        // all 180 transactions.
+        assert_eq!(load_release(&rel_two).unwrap().n_transactions(), 180);
+        // A tampered checkpoint fails closed on resume.
+        let cp_path = format!("{ckpt}/checkpoint.json");
+        let tampered = std::fs::read_to_string(&cp_path)
+            .unwrap()
+            .replace("\"finished\":true", "\"finished\":false");
+        std::fs::write(&cp_path, tampered).unwrap();
+        let mut argv = base.to_vec();
+        argv.extend_from_slice(&["--stream-batch", "50", "--checkpoint", &ckpt, "--resume"]);
+        let err = anonymize(&parse(ANONYMIZE_FLAGS, &argv));
+        let Err(CliError::Run(msg)) = err else {
+            panic!("expected CliError::Run, got {err:?}");
+        };
+        assert!(msg.contains("corrupt checkpoint"), "{msg}");
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_one).ok();
+        std::fs::remove_file(&rel_two).ok();
+        std::fs::remove_dir_all(&ckpt).ok();
+    }
+
+    #[test]
+    fn streaming_flag_dependencies_are_enforced() {
+        assert!(matches!(
+            anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    "/nonexistent.dat",
+                    "--p",
+                    "2",
+                    "--sensitive",
+                    "1",
+                    "--resume"
+                ],
+            )),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    "/nonexistent.dat",
+                    "--p",
+                    "4",
+                    "--sensitive",
+                    "1",
+                    "--stream-batch",
+                    "5",
+                ],
+            )),
+            Err(CliError::Usage(_)) // 5 < 2p
+        ));
+        assert!(matches!(
+            anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    "/nonexistent.dat",
+                    "--p",
+                    "2",
+                    "--random-m",
+                    "2",
+                    "--stream-batch",
+                    "8",
+                ],
+            )),
+            Err(CliError::Usage(_)) // streaming needs explicit --sensitive
+        ));
+        assert!(matches!(
+            anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    "/nonexistent.dat",
+                    "--p",
+                    "2",
+                    "--sensitive",
+                    "1",
+                    "--bad-input",
+                    "lenient",
+                ],
+            )),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

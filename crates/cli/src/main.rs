@@ -20,6 +20,11 @@ usage:
                      [--kernel adaptive|sparse|dense]  (similarity kernel)
                      [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
+                     [--bad-input strict|quarantine] [--items D]  (robust
+                     ingestion: corrupt rows rejected or quarantined into
+                     the final group)
+                     [--stream-batch N] [--checkpoint dir] [--resume]
+                     [--max-batches M]  (streaming with checkpoint/resume)
                      [--trace-json trace.json] [--metrics]  (observability)
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>

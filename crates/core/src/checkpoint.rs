@@ -1,0 +1,294 @@
+//! Serializable streaming checkpoints.
+//!
+//! A [`StreamingCheckpoint`] freezes the full resumable state of a
+//! [`crate::streaming::StreamingAnonymizer`] — buffered rows, carried-over
+//! stash, stream cursor, and the remaining-occurrence histogram of the
+//! sensitive items over the unpublished rows — so a killed process can
+//! resume exactly where it stopped instead of discarding the buffer.
+//!
+//! The struct derives `Serialize`/`Deserialize` (JSON via `serde_json` at
+//! the CLI layer) and carries a self-digest. Loading is **fail-closed**:
+//! [`StreamingCheckpoint::validate`] rejects any checkpoint whose digest,
+//! version, parameters, or internal consistency do not hold, with
+//! [`CahdError::CorruptCheckpoint`] — a tampered or truncated file can
+//! never silently resume a stream.
+//!
+//! The digest is FNV-1a over a canonical little-endian encoding of every
+//! field, masked to 53 bits so it survives a round-trip through JSON
+//! numbers (which are f64 and exact only up to 2^53).
+
+use cahd_data::ItemId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CahdError;
+
+/// Current checkpoint format version. Bumped on any incompatible change;
+/// older versions fail closed rather than being migrated silently.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Digests are truncated to 53 bits so they survive JSON's f64 numbers.
+const DIGEST_MASK: u64 = (1 << 53) - 1;
+
+/// Frozen resumable state of a streaming anonymization run.
+///
+/// Produced by [`crate::streaming::StreamingAnonymizer::checkpoint`] and
+/// consumed by [`crate::streaming::StreamingAnonymizer::resume`]. All
+/// integral fields are `u64` so they serialize exactly through the JSON
+/// number model (values here are far below 2^53).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamingCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Privacy degree the stream runs at.
+    pub p: u64,
+    /// Batch size of the stream.
+    pub batch_size: u64,
+    /// Item-universe size of the stream's sensitive set.
+    pub n_items: u64,
+    /// Next stream id to assign (number of rows pushed so far).
+    pub next_id: u64,
+    /// Total sensitive transactions deferred across batches so far.
+    pub carried_over: u64,
+    /// Whether the stream was already finished when checkpointed.
+    pub finished: bool,
+    /// Buffered (unreleased) rows as `(stream id, items)`.
+    pub buffer: Vec<(u64, Vec<ItemId>)>,
+    /// Rows deferred from an infeasible batch, opening the next one.
+    pub stash: Vec<(u64, Vec<ItemId>)>,
+    /// Sensitive item ids (sorted), pinning the universe the stream used.
+    pub sensitive_items: Vec<ItemId>,
+    /// Remaining-occurrence histogram: for each sensitive item (aligned
+    /// with `sensitive_items`), its occurrence count over `buffer` plus
+    /// `stash`. Redundant with the rows by construction and re-derived on
+    /// load — a mismatch means corruption.
+    pub remaining_counts: Vec<u64>,
+    /// FNV-1a self-digest over every other field, masked to 53 bits.
+    pub digest: u64,
+}
+
+impl StreamingCheckpoint {
+    /// The digest the other fields imply. [`validate`](Self::validate)
+    /// compares this against the stored `digest`; writers assign it.
+    #[must_use]
+    pub fn compute_digest(&self) -> u64 {
+        let mut d = Fnv::new();
+        d.u64(self.version);
+        d.u64(self.p);
+        d.u64(self.batch_size);
+        d.u64(self.n_items);
+        d.u64(self.next_id);
+        d.u64(self.carried_over);
+        d.u64(u64::from(self.finished));
+        for section in [&self.buffer, &self.stash] {
+            d.u64(section.len() as u64);
+            for (id, row) in section {
+                d.u64(*id);
+                d.u64(row.len() as u64);
+                for &item in row {
+                    d.u64(u64::from(item));
+                }
+            }
+        }
+        d.u64(self.sensitive_items.len() as u64);
+        for &item in &self.sensitive_items {
+            d.u64(u64::from(item));
+        }
+        d.u64(self.remaining_counts.len() as u64);
+        for &c in &self.remaining_counts {
+            d.u64(c);
+        }
+        d.finish() & DIGEST_MASK
+    }
+
+    /// The remaining-occurrence histogram the buffered rows imply.
+    #[must_use]
+    pub fn derive_remaining_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.sensitive_items.len()];
+        for (_, row) in self.buffer.iter().chain(&self.stash) {
+            for &item in row {
+                if let Ok(i) = self.sensitive_items.binary_search(&item) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Fail-closed validation: digest, version, parameter sanity, and
+    /// internal consistency of the frozen state.
+    ///
+    /// # Errors
+    /// [`CahdError::CorruptCheckpoint`] naming the first failed check.
+    pub fn validate(&self) -> Result<(), CahdError> {
+        let fail = |reason: String| Err(CahdError::CorruptCheckpoint { reason });
+        if self.version != CHECKPOINT_VERSION {
+            return fail(format!(
+                "unsupported format version {} (expected {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        if self.digest != self.compute_digest() {
+            return fail("digest mismatch: checkpoint was tampered with or truncated".into());
+        }
+        if self.p < 2 {
+            return fail(format!("privacy degree {} is degenerate", self.p));
+        }
+        if self.batch_size < 2 * self.p {
+            return fail(format!(
+                "batch_size {} below the 2p floor ({})",
+                self.batch_size,
+                2 * self.p
+            ));
+        }
+        if !self.sensitive_items.windows(2).all(|w| w[0] < w[1]) {
+            return fail("sensitive items are not sorted and unique".into());
+        }
+        if let Some(&item) = self
+            .sensitive_items
+            .iter()
+            .find(|&&i| u64::from(i) >= self.n_items)
+        {
+            return fail(format!(
+                "sensitive item {item} outside universe {}",
+                self.n_items
+            ));
+        }
+        for (id, row) in self.buffer.iter().chain(&self.stash) {
+            if *id >= self.next_id {
+                return fail(format!(
+                    "buffered stream id {id} >= cursor {}",
+                    self.next_id
+                ));
+            }
+            if let Some(&item) = row.iter().find(|&&i| u64::from(i) >= self.n_items) {
+                return fail(format!(
+                    "buffered row {id} holds item {item} outside universe {}",
+                    self.n_items
+                ));
+            }
+        }
+        if self.remaining_counts.len() != self.sensitive_items.len() {
+            return fail(format!(
+                "remaining-occurrence histogram has {} entries for {} sensitive items",
+                self.remaining_counts.len(),
+                self.sensitive_items.len()
+            ));
+        }
+        if self.remaining_counts != self.derive_remaining_counts() {
+            return fail("remaining-occurrence histogram disagrees with the buffered rows".into());
+        }
+        Ok(())
+    }
+
+    /// Recomputes and stores the digest (after construction or a
+    /// deliberate mutation in tests).
+    pub fn seal(&mut self) {
+        self.remaining_counts = self.derive_remaining_counts();
+        self.digest = self.compute_digest();
+    }
+}
+
+/// Minimal FNV-1a accumulator over little-endian `u64` words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamingCheckpoint {
+        let mut cp = StreamingCheckpoint {
+            version: CHECKPOINT_VERSION,
+            p: 2,
+            batch_size: 6,
+            n_items: 10,
+            next_id: 5,
+            carried_over: 1,
+            finished: false,
+            buffer: vec![(3, vec![0, 1]), (4, vec![2, 9])],
+            stash: vec![(1, vec![9])],
+            sensitive_items: vec![9],
+            remaining_counts: Vec::new(),
+            digest: 0,
+        };
+        cp.seal();
+        cp
+    }
+
+    #[test]
+    fn sealed_checkpoint_validates() {
+        let cp = sample();
+        assert!(cp.validate().is_ok());
+        assert_eq!(cp.remaining_counts, vec![2]);
+        assert!(cp.digest <= DIGEST_MASK);
+    }
+
+    #[test]
+    fn any_field_tamper_fails_closed() {
+        let mut cp = sample();
+        cp.next_id = 6;
+        let err = cp.validate().unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { ref reason }
+            if reason.contains("digest")));
+
+        let mut cp = sample();
+        cp.buffer[0].1.push(3);
+        assert!(cp.validate().is_err());
+
+        // Even with a freshly sealed digest, an impossible state fails.
+        let mut cp = sample();
+        cp.buffer[0].0 = 99; // id beyond the cursor
+        cp.seal();
+        let err = cp.validate().unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { ref reason }
+            if reason.contains("cursor")));
+
+        let mut cp = sample();
+        cp.version = 2;
+        cp.seal();
+        assert!(matches!(
+            cp.validate().unwrap_err(),
+            CahdError::CorruptCheckpoint { ref reason } if reason.contains("version")
+        ));
+
+        let mut cp = sample();
+        cp.batch_size = 3;
+        cp.seal();
+        assert!(cp.validate().is_err());
+    }
+
+    #[test]
+    fn histogram_mismatch_is_detected_behind_a_valid_digest() {
+        let mut cp = sample();
+        cp.remaining_counts = vec![7];
+        cp.digest = cp.compute_digest(); // digest over the lie is consistent
+        let err = cp.validate().unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { ref reason }
+            if reason.contains("histogram")));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let cp = sample();
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: StreamingCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cp);
+        assert!(back.validate().is_ok());
+    }
+}

@@ -24,11 +24,19 @@ use std::fmt;
 /// So `p == 0` on an empty dataset yields [`InvalidPrivacyDegree`], not
 /// [`EmptyDataset`] — the precedence test in this module pins it.
 ///
+/// The ingestion and persistence errors ([`CorruptRow`],
+/// [`CorruptCheckpoint`], [`StreamFinished`]) are raised *before* the
+/// pipeline runs — by the robust entry points and the streaming layer —
+/// so they precede everything above when they apply at all.
+///
 /// [`InvalidPrivacyDegree`]: CahdError::InvalidPrivacyDegree
 /// [`InvalidAlpha`]: CahdError::InvalidAlpha
 /// [`UniverseMismatch`]: CahdError::UniverseMismatch
 /// [`EmptyDataset`]: CahdError::EmptyDataset
 /// [`Infeasible`]: CahdError::Infeasible
+/// [`CorruptRow`]: CahdError::CorruptRow
+/// [`CorruptCheckpoint`]: CahdError::CorruptCheckpoint
+/// [`StreamFinished`]: CahdError::StreamFinished
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CahdError {
     /// No partitioning with the requested privacy degree exists: some
@@ -57,6 +65,26 @@ pub enum CahdError {
         /// Items in the sensitive set.
         sensitive_items: usize,
     },
+    /// An input row failed validation under
+    /// [`crate::recovery::InputPolicy::Strict`] (out-of-range item or
+    /// duplicate item id).
+    CorruptRow {
+        /// Index of the offending row in the submitted batch.
+        row: usize,
+        /// Human-readable description of what is wrong with the row.
+        reason: String,
+    },
+    /// A streaming checkpoint failed validation on load (bad digest,
+    /// inconsistent fields, or wrong format version). Resume fails closed:
+    /// nothing from a corrupt checkpoint is ever trusted.
+    CorruptCheckpoint {
+        /// Human-readable description of the failed validation.
+        reason: String,
+    },
+    /// [`crate::streaming::StreamingAnonymizer::push`] was called after
+    /// [`crate::streaming::StreamingAnonymizer::finish`]; the stream is
+    /// closed and its final chunk may already be published.
+    StreamFinished,
 }
 
 impl fmt::Display for CahdError {
@@ -85,6 +113,18 @@ impl fmt::Display for CahdError {
                 "item universe mismatch: dataset has {data_items} items, sensitive set built \
                  over {sensitive_items}"
             ),
+            CahdError::CorruptRow { row, reason } => {
+                write!(f, "corrupt input row {row}: {reason}")
+            }
+            CahdError::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+            CahdError::StreamFinished => {
+                write!(
+                    f,
+                    "stream already finished: push after finish is not allowed"
+                )
+            }
         }
     }
 }

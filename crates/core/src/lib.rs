@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cahd;
+pub mod checkpoint;
 pub mod diversity;
 pub mod error;
 pub mod group;
@@ -50,6 +51,7 @@ mod invariant;
 pub mod kernel;
 pub mod order;
 pub mod pipeline;
+pub mod recovery;
 pub mod refine;
 pub mod shard;
 pub mod streaming;
@@ -58,13 +60,17 @@ pub mod verify;
 pub mod weighted;
 
 pub use cahd::{cahd, cahd_traced, CahdConfig, CahdStats};
+pub use checkpoint::{StreamingCheckpoint, CHECKPOINT_VERSION};
 pub use diversity::{privacy_report, PrivacyReport};
 pub use error::CahdError;
 pub use group::{AnonymizedGroup, PublishedDataset};
 pub use kernel::{KernelMode, KernelStats, MinCountScorer, QidOverlapScorer, SimilarityKernel};
-pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult};
+pub use pipeline::{Anonymizer, AnonymizerConfig, PipelineResult, RobustResult};
+pub use recovery::{FaultPlan, InputPolicy, RecoveryConfig, ShardFault};
 pub use refine::{intra_group_overlap, refine_groups, RefineStats};
-pub use shard::{cahd_sharded, cahd_sharded_traced, ParallelConfig, ShardedStats};
+pub use shard::{
+    cahd_sharded, cahd_sharded_recovering, cahd_sharded_traced, ParallelConfig, ShardedStats,
+};
 pub use streaming::{ReleaseChunk, StreamingAnonymizer};
 pub use suppress::{enforce_feasibility, SuppressionReport};
 pub use verify::{verify_all, verify_published, VerificationError};

@@ -3,14 +3,16 @@
 
 use std::time::{Duration, Instant};
 
-use cahd_data::{SensitiveSet, TransactionSet};
+use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 use cahd_obs::{Recorder, TraceReport};
 use cahd_rcm::{reduce_unsymmetric_traced, BandReduction, UnsymOptions};
 
 use crate::cahd::{cahd_traced, CahdConfig, CahdStats};
 use crate::error::CahdError;
-use crate::group::PublishedDataset;
-use crate::shard::{cahd_sharded_traced, ParallelConfig, ShardedStats};
+use crate::group::{AnonymizedGroup, PublishedDataset};
+use crate::invariant::{strict_invariant, strict_invariant_eq};
+use crate::recovery::{bad_row_reason, sanitize_row, FaultPlan, InputPolicy, RecoveryConfig};
+use crate::shard::{cahd_sharded_recovering, ParallelConfig, ShardedStats};
 
 /// Configuration of the full pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -111,13 +113,30 @@ impl Anonymizer {
     /// The recorded span tree is rooted at `pipeline` with children
     /// `pipeline/rcm` (and its sub-phases, see
     /// [`reduce_unsymmetric_traced`]), `pipeline/permute`,
-    /// `pipeline/group` (see [`cahd_traced`] / [`cahd_sharded_traced`])
-    /// and `pipeline/unpermute`; direct children always sum to within the
-    /// `pipeline` total, which the `CAHD-O001` check pass enforces.
+    /// `pipeline/group` (see [`cahd_traced`] /
+    /// [`crate::shard::cahd_sharded_traced`]) and `pipeline/unpermute`;
+    /// direct children always sum to within the `pipeline` total, which
+    /// the `CAHD-O001` check pass enforces.
     pub fn anonymize_traced(
         &self,
         data: &TransactionSet,
         sensitive: &SensitiveSet,
+        rec: &Recorder,
+    ) -> Result<PipelineResult, CahdError> {
+        self.anonymize_with_plan(data, sensitive, &FaultPlan::none(), rec)
+    }
+
+    /// [`Anonymizer::anonymize_traced`] with shard faults injected from
+    /// `plan`. A plan with shard faults forces the group-formation phase
+    /// through the recovering sharded engine even for a single shard, so
+    /// every fault is actually exercised; corrupt-row injections are an
+    /// ingestion concern and ignored here (see
+    /// [`Anonymizer::anonymize_rows`]).
+    fn anonymize_with_plan(
+        &self,
+        data: &TransactionSet,
+        sensitive: &SensitiveSet,
+        plan: &FaultPlan,
         rec: &Recorder,
     ) -> Result<PipelineResult, CahdError> {
         let t0 = Instant::now();
@@ -132,19 +151,21 @@ impl Anonymizer {
         };
         let rcm_time = band.as_ref().map(|b| b.rcm_time).unwrap_or_default();
 
-        let (mut published, cahd_stats, sharded_stats) = if self.config.parallel.is_sequential() {
-            let (published, stats) = cahd_traced(&work, sensitive, &self.config.cahd, rec)?;
-            (published, stats, None)
-        } else {
-            let (published, sharded) = cahd_sharded_traced(
-                &work,
-                sensitive,
-                &self.config.cahd,
-                &self.config.parallel,
-                rec,
-            )?;
-            (published, sharded.cahd, Some(sharded))
-        };
+        let (mut published, cahd_stats, sharded_stats) =
+            if self.config.parallel.is_sequential() && !plan.has_shard_faults() {
+                let (published, stats) = cahd_traced(&work, sensitive, &self.config.cahd, rec)?;
+                (published, stats, None)
+            } else {
+                let (published, sharded) = cahd_sharded_recovering(
+                    &work,
+                    sensitive,
+                    &self.config.cahd,
+                    &self.config.parallel,
+                    plan,
+                    rec,
+                )?;
+                (published, sharded.cahd, Some(sharded))
+            };
 
         // Map group members back to original transaction indices.
         if let Some(red) = &band {
@@ -167,6 +188,264 @@ impl Anonymizer {
             trace: rec.is_enabled().then(|| rec.snapshot()),
         })
     }
+
+    /// Anonymizes raw `rows` with input validation and fault recovery.
+    ///
+    /// See [`Anonymizer::anonymize_rows_traced`].
+    ///
+    /// # Errors
+    /// As [`Anonymizer::anonymize_rows_traced`].
+    pub fn anonymize_rows(
+        &self,
+        rows: &[Vec<ItemId>],
+        sensitive: &SensitiveSet,
+        recovery: &RecoveryConfig,
+    ) -> Result<RobustResult, CahdError> {
+        self.anonymize_rows_traced(rows, sensitive, recovery, &Recorder::disabled())
+    }
+
+    /// The robust pipeline entry point: raw rows in, a validated release
+    /// out, surviving corrupt input and injected shard faults.
+    ///
+    /// Rows are validated against the sensitive set's universe *before*
+    /// dataset construction (which would silently sort, de-duplicate, and
+    /// re-infer the universe). A row with an out-of-range item or a
+    /// duplicate item id — or one injected as corrupt by
+    /// `recovery.plan` — is handled per `recovery.policy`:
+    ///
+    /// * [`InputPolicy::Strict`] — the run fails with
+    ///   [`CahdError::CorruptRow`] naming the first bad row;
+    /// * [`InputPolicy::Quarantine`] — the row is sanitized (in-range
+    ///   items, de-duplicated) and pinned into the **final leftover
+    ///   group**: it is published, but never acts as a pivot or candidate
+    ///   during group formation. If absorbing the quarantine overloads
+    ///   the final group's `1/p` bound, regular groups are dissolved into
+    ///   it (last formed first, exactly like the shard merge repair)
+    ///   until the bound holds — global feasibility of the sanitized
+    ///   dataset guarantees termination.
+    ///
+    /// Shard faults in `recovery.plan` are recovered by
+    /// [`cahd_sharded_recovering`]. Recovery actions are recorded on
+    /// `rec` as the scheduling-invariant counters
+    /// `core.quarantined_rows` and `core.recovered_shards` (audited by
+    /// the `CAHD-R001` check pass), and the returned trace snapshot
+    /// includes them. With no bad rows and an empty plan the release is
+    /// byte-identical to [`Anonymizer::anonymize_traced`] over the same
+    /// rows.
+    ///
+    /// # Errors
+    /// [`CahdError::CorruptRow`] under the strict policy, then everything
+    /// [`Anonymizer::anonymize`] reports (parameter errors first, then
+    /// shape errors, then infeasibility — all evaluated on the sanitized
+    /// dataset).
+    pub fn anonymize_rows_traced(
+        &self,
+        rows: &[Vec<ItemId>],
+        sensitive: &SensitiveSet,
+        recovery: &RecoveryConfig,
+        rec: &Recorder,
+    ) -> Result<RobustResult, CahdError> {
+        let t0 = Instant::now();
+        self.config.cahd.validate()?;
+        let n_items = sensitive.n_items();
+        let p = self.config.cahd.p;
+
+        // Ingestion: classify every raw row before any dataset exists.
+        let mut quarantined: Vec<usize> = Vec::new();
+        let mut clean_rows: Vec<Vec<ItemId>> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let reason = if recovery.plan.row_is_corrupt(i) {
+                Some("injected corruption".to_string())
+            } else {
+                bad_row_reason(row, n_items)
+            };
+            match reason {
+                None => clean_rows.push(row.clone()),
+                Some(reason) => match recovery.policy {
+                    InputPolicy::Strict => {
+                        return Err(CahdError::CorruptRow { row: i, reason });
+                    }
+                    InputPolicy::Quarantine => {
+                        quarantined.push(i);
+                        clean_rows.push(sanitize_row(row, n_items));
+                    }
+                },
+            }
+        }
+        let data = TransactionSet::from_rows(&clean_rows, n_items);
+        let n = data.n_transactions();
+
+        if quarantined.is_empty() {
+            let result = self.anonymize_with_plan(&data, sensitive, &recovery.plan, rec)?;
+            return Ok(RobustResult {
+                recovered_shards: result
+                    .sharded_stats
+                    .as_ref()
+                    .map_or(0, |s| s.recovered_shards),
+                result: PipelineResult {
+                    trace: rec.is_enabled().then(|| rec.snapshot()),
+                    ..result
+                },
+                data,
+                quarantined,
+            });
+        }
+
+        // --- Quarantine path. ---
+        if n == 0 {
+            return Err(CahdError::EmptyDataset);
+        }
+        // Global feasibility over the *sanitized* dataset: quarantined
+        // rows are published too, so they count toward both sides of the
+        // bound. This also guarantees the dissolve repair terminates.
+        let counts = sensitive.occurrence_counts(&data);
+        for (r, &c) in counts.iter().enumerate() {
+            if c * p > n {
+                return Err(CahdError::Infeasible {
+                    item: sensitive.items()[r],
+                    support: c,
+                    p,
+                    n,
+                });
+            }
+        }
+        let mut in_quarantine = vec![false; n];
+        for &i in &quarantined {
+            in_quarantine[i] = true;
+        }
+        let good: Vec<usize> = (0..n).filter(|&i| !in_quarantine[i]).collect();
+        let good_rows: Vec<Vec<ItemId>> = good.iter().map(|&i| clean_rows[i].clone()).collect();
+        let good_data = TransactionSet::from_rows(&good_rows, n_items);
+        let good_counts = sensitive.occurrence_counts(&good_data);
+        let good_feasible = !good.is_empty() && good_counts.iter().all(|&c| c * p <= good.len());
+
+        let sens_ranks_of =
+            |m: u32| -> Vec<usize> { sensitive.split_transaction(data.transaction(m as usize)).1 };
+
+        let result = if good_feasible {
+            // Anonymize the good subset, then splice the quarantine into
+            // the final leftover group.
+            let mut result =
+                self.anonymize_with_plan(&good_data, sensitive, &recovery.plan, rec)?;
+            for g in &mut result.published.groups {
+                for m in &mut g.members {
+                    *m = good[*m as usize] as u32;
+                }
+            }
+            let mut groups = std::mem::take(&mut result.published.groups);
+            let inner_fallback = result.cahd_stats.fallback_group_size;
+            let mut final_members: Vec<u32> = if inner_fallback > 0 {
+                groups
+                    .pop()
+                    .expect("a recorded leftover group exists")
+                    .members
+            } else {
+                Vec::new()
+            };
+            final_members.extend(quarantined.iter().map(|&i| i as u32));
+            let mut hist = vec![0usize; sensitive.len()];
+            for &m in &final_members {
+                for r in sens_ranks_of(m) {
+                    hist[r] += 1;
+                }
+            }
+            let mut dissolved = 0usize;
+            while hist.iter().any(|&c| c * p > final_members.len()) {
+                let g = groups
+                    .pop()
+                    .expect("global feasibility bounds the dissolve loop");
+                for &m in &g.members {
+                    for r in sens_ranks_of(m) {
+                        hist[r] += 1;
+                    }
+                }
+                final_members.extend(g.members);
+                dissolved += 1;
+            }
+            final_members.sort_unstable();
+            groups.push(AnonymizedGroup::from_members(
+                &data,
+                sensitive,
+                &final_members,
+            ));
+            result.published.groups = groups;
+            result.cahd_stats.groups_formed -= dissolved;
+            result.cahd_stats.fallback_group_size = final_members.len();
+            rec.add("core.merge_dissolved", dissolved as u64);
+            rec.add(
+                "core.fallback_group_size",
+                (final_members.len() - inner_fallback) as u64,
+            );
+            result
+        } else {
+            // The good subset alone is empty or infeasible (the bad rows
+            // held the slack). Degrade to the one release that is always
+            // valid under global feasibility: the whole dataset as a
+            // single group.
+            let members: Vec<u32> =
+                (0..u32::try_from(n).expect("dataset fits u32 indices")).collect();
+            let group = AnonymizedGroup::from_members(&data, sensitive, &members);
+            rec.add("core.fallback_group_size", n as u64);
+            PipelineResult {
+                published: PublishedDataset {
+                    n_items,
+                    sensitive_items: sensitive.items().to_vec(),
+                    groups: vec![group],
+                },
+                cahd_stats: CahdStats {
+                    fallback_group_size: n,
+                    ..CahdStats::default()
+                },
+                sharded_stats: None,
+                band: None,
+                rcm_time: Duration::ZERO,
+                total_time: Duration::ZERO,
+                trace: None,
+            }
+        };
+        rec.add("core.quarantined_rows", quarantined.len() as u64);
+
+        strict_invariant!(
+            result.published.satisfies(p),
+            "robust pipeline invariant violated after quarantine merge"
+        );
+        strict_invariant_eq!(
+            result.published.n_transactions(),
+            n,
+            "robust pipeline must publish every row exactly once"
+        );
+        Ok(RobustResult {
+            recovered_shards: result
+                .sharded_stats
+                .as_ref()
+                .map_or(0, |s| s.recovered_shards),
+            result: PipelineResult {
+                total_time: t0.elapsed(),
+                trace: rec.is_enabled().then(|| rec.snapshot()),
+                ..result
+            },
+            data,
+            quarantined,
+        })
+    }
+}
+
+/// Output of the robust entry points
+/// ([`Anonymizer::anonymize_rows`] / [`Anonymizer::anonymize_rows_traced`]).
+#[derive(Debug)]
+pub struct RobustResult {
+    /// The pipeline output. `result.published` covers **every** submitted
+    /// row (quarantined ones included, sanitized), and `result.trace`
+    /// additionally carries the recovery counters.
+    pub result: PipelineResult,
+    /// The sanitized dataset the release publishes — what
+    /// [`crate::verify::verify_all`] must be run against.
+    pub data: TransactionSet,
+    /// Indices of quarantined rows (ascending). Always empty under
+    /// [`InputPolicy::Strict`].
+    pub quarantined: Vec<usize>,
+    /// Shards whose first scan attempt failed and were recovered.
+    pub recovered_shards: usize,
 }
 
 #[cfg(test)]
@@ -313,5 +592,156 @@ mod tests {
             .anonymize(&data, &sens)
             .unwrap_err();
         assert!(matches!(err, CahdError::Infeasible { .. }));
+    }
+
+    fn block_rows() -> (Vec<Vec<u32>>, SensitiveSet) {
+        let (data, sens) = block_data();
+        let rows: Vec<Vec<u32>> = data.iter().map(<[u32]>::to_vec).collect();
+        (rows, sens)
+    }
+
+    #[test]
+    fn clean_rows_match_the_plain_pipeline_exactly() {
+        let (rows, sens) = block_rows();
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2));
+        let plain = anon
+            .anonymize(&TransactionSet::from_rows(&rows, 10), &sens)
+            .unwrap();
+        for recovery in [RecoveryConfig::strict(), RecoveryConfig::quarantine()] {
+            let robust = anon.anonymize_rows(&rows, &sens, &recovery).unwrap();
+            assert_eq!(robust.result.published, plain.published);
+            assert!(robust.quarantined.is_empty());
+            assert_eq!(robust.recovered_shards, 0);
+        }
+    }
+
+    #[test]
+    fn strict_policy_rejects_the_first_bad_row() {
+        let (mut rows, sens) = block_rows();
+        rows[3] = vec![1, 99]; // out of the 10-item universe
+        rows[5] = vec![4, 4]; // duplicate item
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2));
+        let err = anon
+            .anonymize_rows(&rows, &sens, &RecoveryConfig::strict())
+            .unwrap_err();
+        assert!(
+            matches!(err, CahdError::CorruptRow { row: 3, ref reason }
+                if reason.contains("out of range")),
+            "{err:?}"
+        );
+        // Parameter errors still take precedence over ingestion.
+        let err = Anonymizer::new(AnonymizerConfig::with_privacy_degree(1))
+            .anonymize_rows(&rows, &sens, &RecoveryConfig::strict())
+            .unwrap_err();
+        assert!(matches!(err, CahdError::InvalidPrivacyDegree(1)));
+    }
+
+    #[test]
+    fn quarantined_rows_land_in_the_final_group() {
+        let (mut rows, sens) = block_rows();
+        rows[3] = vec![4, 5, 9, 99]; // out-of-range tail; sanitized to {4,5,9}
+        rows[6] = vec![1, 1, 2]; // duplicate; sanitized to {1,2}
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2));
+        let rec = Recorder::new();
+        let robust = anon
+            .anonymize_rows_traced(&rows, &sens, &RecoveryConfig::quarantine(), &rec)
+            .unwrap();
+        assert_eq!(robust.quarantined, vec![3, 6]);
+        let pub_ = &robust.result.published;
+        assert_eq!(pub_.n_transactions(), rows.len());
+        assert!(pub_.satisfies(2));
+        let errors = crate::verify::verify_all(&robust.data, &sens, pub_, 2);
+        assert!(errors.is_empty(), "{errors:?}");
+        // Quarantined rows sit in the final (last) group, published with
+        // their sanitized contents.
+        let last = pub_.groups.last().unwrap();
+        for &q in &robust.quarantined {
+            assert!(last.members.contains(&(q as u32)), "{:?}", last.members);
+        }
+        assert_eq!(robust.data.transaction(3), &[4, 5, 9]);
+        assert_eq!(robust.data.transaction(6), &[1, 2]);
+        let trace = robust.result.result_trace();
+        assert_eq!(trace.counter("core.quarantined_rows"), Some(2));
+        assert!(
+            trace.counter("core.fallback_group_size").unwrap_or(0)
+                >= trace.counter("core.quarantined_rows").unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn injected_corruption_quarantines_clean_rows() {
+        let (rows, sens) = block_rows();
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2));
+        let recovery = RecoveryConfig::quarantine()
+            .with_plan(FaultPlan::none().with_corrupt_row(1).with_corrupt_row(5));
+        let robust = anon.anonymize_rows(&rows, &sens, &recovery).unwrap();
+        assert_eq!(robust.quarantined, vec![1, 5]);
+        assert_eq!(robust.result.published.n_transactions(), rows.len());
+        // The rows themselves were clean, so their published form is
+        // untouched.
+        assert_eq!(robust.data.transaction(1), &[4, 5]);
+    }
+
+    #[test]
+    fn infeasible_good_subset_degrades_to_a_single_group() {
+        // Both sensitive rows quarantined: the good subset has zero
+        // occurrences (feasible), so instead force infeasibility of the
+        // good subset by quarantining most NON-sensitive rows.
+        let rows: Vec<Vec<u32>> = vec![
+            vec![0, 8],
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 0],
+            vec![1],
+        ];
+        let sens = SensitiveSet::new(vec![8], 9);
+        let mut plan = FaultPlan::none();
+        for r in 1..7 {
+            plan = plan.with_corrupt_row(r);
+        }
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(4));
+        let robust = anon
+            .anonymize_rows(&rows, &sens, &RecoveryConfig::quarantine().with_plan(plan))
+            .unwrap();
+        // Good subset {0, 7} carries the sensitive occurrence with 1*4 > 2
+        // -> the whole dataset degrades to one group (1*4 <= 8 globally).
+        assert_eq!(robust.result.published.n_groups(), 1);
+        assert!(robust.result.published.satisfies(4));
+        assert_eq!(robust.result.published.n_transactions(), 8);
+    }
+
+    #[test]
+    fn quarantine_overload_dissolves_groups() {
+        // Quarantined sensitive rows overload the leftover group: the
+        // repair loop must dissolve regular groups until 1/p holds.
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for i in 0..12u32 {
+            rows.push(vec![i % 3]);
+        }
+        rows.push(vec![0, 8, 8]); // corrupt AND sensitive
+        rows.push(vec![1, 8, 8]); // corrupt AND sensitive
+        let sens = SensitiveSet::new(vec![8], 9);
+        let anon = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2));
+        let robust = anon
+            .anonymize_rows(&rows, &sens, &RecoveryConfig::quarantine())
+            .unwrap();
+        assert_eq!(robust.quarantined, vec![12, 13]);
+        let pub_ = &robust.result.published;
+        assert!(pub_.satisfies(2));
+        assert_eq!(pub_.n_transactions(), 14);
+        let errors = crate::verify::verify_all(&robust.data, &sens, pub_, 2);
+        assert!(errors.is_empty(), "{errors:?}");
+        // Both sensitive occurrences live in the final group: it needs
+        // size >= 4, more than the two quarantined rows alone.
+        assert!(pub_.groups.last().unwrap().size() >= 4);
+    }
+
+    impl PipelineResult {
+        fn result_trace(&self) -> &TraceReport {
+            self.trace.as_ref().expect("traced run yields a trace")
+        }
     }
 }

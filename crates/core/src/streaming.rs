@@ -16,17 +16,35 @@
 //!   feasible (a burst of one sensitive item). Rather than failing, the
 //!   offending *sensitive transactions* are carried over to the next
 //!   batch, where the burst has diluted.
+//!
+//! # Fault tolerance
+//!
+//! The full in-flight state (buffer, stash, stream cursor) freezes into a
+//! [`StreamingCheckpoint`] via [`StreamingAnonymizer::checkpoint`] and
+//! thaws with [`StreamingAnonymizer::resume`], so a killed process picks
+//! up exactly where it stopped — already-released chunks are never
+//! recomputed, and the resumed run emits the identical remaining chunks.
+//! Corrupt input rows are handled per the configured
+//! [`InputPolicy`] ([`StreamingAnonymizer::with_recovery`]): rejected
+//! under `Strict`, quarantined into the chunk's final group under
+//! `Quarantine`. Resumes are counted by the `core.resumed_batches`
+//! counter on the recorder configured with
+//! [`StreamingAnonymizer::with_recorder`].
 
 use cahd_data::{ItemId, SensitiveSet, TransactionSet};
+use cahd_obs::Recorder;
+use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{StreamingCheckpoint, CHECKPOINT_VERSION};
 use crate::error::CahdError;
 use crate::group::PublishedDataset;
 use crate::invariant::{strict_invariant, strict_invariant_eq};
 use crate::pipeline::{Anonymizer, AnonymizerConfig};
+use crate::recovery::{bad_row_reason, sanitize_row, InputPolicy, RecoveryConfig};
 
 /// A released chunk: the batch's transactions (with their stream
 /// positions) and the anonymized groups over them.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ReleaseChunk {
     /// Stream positions of the batch's transactions; group members index
     /// into this vector.
@@ -47,6 +65,26 @@ pub struct StreamingAnonymizer {
     next_id: u64,
     /// Total occurrences carried over so far, for monitoring.
     carried_over: usize,
+    /// Whether [`StreamingAnonymizer::finish`] already ran.
+    finished: bool,
+    /// Corrupt-row policy and fault plan for the per-batch pipeline runs.
+    recovery: RecoveryConfig,
+    /// Recorder the per-batch pipeline runs and recovery counters flow
+    /// into (disabled unless configured).
+    rec: Recorder,
+}
+
+impl std::fmt::Debug for StreamingAnonymizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingAnonymizer")
+            .field("batch_size", &self.batch_size)
+            .field("buffered", &self.buffer.len())
+            .field("stashed", &self.stash.len())
+            .field("next_id", &self.next_id)
+            .field("carried_over", &self.carried_over)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
 }
 
 impl StreamingAnonymizer {
@@ -68,7 +106,29 @@ impl StreamingAnonymizer {
             stash: Vec::new(),
             next_id: 0,
             carried_over: 0,
+            finished: false,
+            recovery: RecoveryConfig::strict(),
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Sets the corrupt-row policy and fault plan for every batch this
+    /// stream releases. The default is [`RecoveryConfig::strict`]: a bad
+    /// row fails the batch with [`CahdError::CorruptRow`]. Planned
+    /// corrupt-row injections key on the row's *position within the batch*
+    /// at release time, not its stream id.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Routes batch pipeline runs and recovery counters
+    /// (`core.quarantined_rows`, `core.resumed_batches`, ...) into `rec`.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: &Recorder) -> Self {
+        self.rec = rec.clone();
+        self
     }
 
     /// Number of buffered (not yet released) transactions.
@@ -81,9 +141,119 @@ impl StreamingAnonymizer {
         self.carried_over
     }
 
+    /// The stream id the next pushed transaction will receive — equal to
+    /// the number of transactions pushed so far, which lets a resuming
+    /// reader skip straight to its position in the source.
+    pub fn next_stream_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Whether [`StreamingAnonymizer::finish`] already ran.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Freezes the resumable state — buffered rows, carry-over stash,
+    /// stream cursor, and the remaining-occurrence histogram — into a
+    /// sealed, self-digesting checkpoint. Cheap (clones the buffer);
+    /// callers typically checkpoint right after each released chunk, so
+    /// a resume re-anonymizes nothing already published.
+    #[must_use]
+    pub fn checkpoint(&self) -> StreamingCheckpoint {
+        let mut cp = StreamingCheckpoint {
+            version: CHECKPOINT_VERSION,
+            p: self.config.cahd.p as u64,
+            batch_size: self.batch_size as u64,
+            n_items: self.sensitive.n_items() as u64,
+            next_id: self.next_id,
+            carried_over: self.carried_over as u64,
+            finished: self.finished,
+            buffer: self.buffer.clone(),
+            stash: self.stash.clone(),
+            sensitive_items: self.sensitive.items().to_vec(),
+            remaining_counts: Vec::new(),
+            digest: 0,
+        };
+        cp.seal();
+        cp
+    }
+
+    /// Thaws a checkpointed stream. See
+    /// [`StreamingAnonymizer::resume_traced`].
+    ///
+    /// # Errors
+    /// As [`StreamingAnonymizer::resume_traced`].
+    pub fn resume(
+        config: AnonymizerConfig,
+        sensitive: SensitiveSet,
+        cp: &StreamingCheckpoint,
+    ) -> Result<Self, CahdError> {
+        Self::resume_traced(config, sensitive, cp, &Recorder::disabled())
+    }
+
+    /// Thaws a checkpointed stream, fail-closed: the checkpoint is
+    /// validated ([`StreamingCheckpoint::validate`]) and cross-checked
+    /// against the live `config` and `sensitive` set before any of its
+    /// state is trusted. The resumed stream continues exactly where the
+    /// checkpointed one stopped — same buffered rows, same stream ids,
+    /// same carry-over — so the remaining chunks are identical to an
+    /// uninterrupted run's. Each successful resume bumps the
+    /// `core.resumed_batches` counter on `rec`, which also becomes the
+    /// stream's recorder (as if passed to
+    /// [`StreamingAnonymizer::with_recorder`]).
+    ///
+    /// # Errors
+    /// [`CahdError::CorruptCheckpoint`] if validation or any cross-check
+    /// fails.
+    pub fn resume_traced(
+        config: AnonymizerConfig,
+        sensitive: SensitiveSet,
+        cp: &StreamingCheckpoint,
+        rec: &Recorder,
+    ) -> Result<Self, CahdError> {
+        cp.validate()?;
+        let mismatch = |reason: String| Err(CahdError::CorruptCheckpoint { reason });
+        if cp.p != config.cahd.p as u64 {
+            return mismatch(format!(
+                "checkpoint privacy degree {} does not match the configured {}",
+                cp.p, config.cahd.p
+            ));
+        }
+        if cp.n_items != sensitive.n_items() as u64 {
+            return mismatch(format!(
+                "checkpoint universe {} does not match the sensitive set's {}",
+                cp.n_items,
+                sensitive.n_items()
+            ));
+        }
+        if cp.sensitive_items != sensitive.items() {
+            return mismatch("checkpoint sensitive items differ from the live set".to_string());
+        }
+        rec.add("core.resumed_batches", 1);
+        Ok(StreamingAnonymizer {
+            config,
+            sensitive,
+            batch_size: cp.batch_size as usize,
+            buffer: cp.buffer.clone(),
+            stash: cp.stash.clone(),
+            next_id: cp.next_id,
+            carried_over: cp.carried_over as usize,
+            finished: cp.finished,
+            recovery: RecoveryConfig::strict(),
+            rec: rec.clone(),
+        })
+    }
+
     /// Appends a transaction; returns a release chunk when a batch
     /// completed.
+    ///
+    /// # Errors
+    /// [`CahdError::StreamFinished`] after [`StreamingAnonymizer::finish`];
+    /// otherwise whatever the per-batch pipeline reports.
     pub fn push(&mut self, items: Vec<ItemId>) -> Result<Option<ReleaseChunk>, CahdError> {
+        if self.finished {
+            return Err(CahdError::StreamFinished);
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.buffer.push((id, items));
@@ -96,9 +266,17 @@ impl StreamingAnonymizer {
 
     /// Flushes the remaining buffer as a final chunk (no carry-over
     /// allowed: infeasibility is now a hard error the caller must handle,
-    /// e.g. with [`crate::suppress::enforce_feasibility`]).
-    pub fn finish(mut self) -> Result<Option<ReleaseChunk>, CahdError> {
-        self.buffer.append(&mut self.stash);
+    /// e.g. with [`crate::suppress::enforce_feasibility`]). Closes the
+    /// stream: later [`push`](Self::push) calls error with
+    /// [`CahdError::StreamFinished`], and calling `finish` again is a
+    /// no-op returning `Ok(None)`.
+    pub fn finish(&mut self) -> Result<Option<ReleaseChunk>, CahdError> {
+        if self.finished {
+            return Ok(None);
+        }
+        self.finished = true;
+        let mut stash = std::mem::take(&mut self.stash);
+        self.buffer.append(&mut stash);
         if self.buffer.is_empty() {
             return Ok(None);
         }
@@ -109,8 +287,36 @@ impl StreamingAnonymizer {
         let p = self.config.cahd.p;
         let n_items = self.sensitive.n_items();
         loop {
-            let rows: Vec<Vec<ItemId>> = self.buffer.iter().map(|(_, r)| r.clone()).collect();
-            let data = TransactionSet::from_rows(&rows, n_items);
+            // Ingestion-aware view of the batch: a corrupt row is either a
+            // hard error (Strict, reported under its *stream* id) or
+            // counted via its sanitized form, which is exactly what the
+            // robust pipeline will publish for it.
+            let mut rows: Vec<Vec<ItemId>> = Vec::with_capacity(self.buffer.len());
+            let mut eff_rows: Vec<Vec<ItemId>> = Vec::with_capacity(self.buffer.len());
+            for (pos, (id, row)) in self.buffer.iter().enumerate() {
+                let reason = if self.recovery.plan.row_is_corrupt(pos) {
+                    Some("injected corruption".to_string())
+                } else {
+                    bad_row_reason(row, n_items)
+                };
+                match (reason, self.recovery.policy) {
+                    (Some(reason), InputPolicy::Strict) => {
+                        return Err(CahdError::CorruptRow {
+                            row: usize::try_from(*id).unwrap_or(usize::MAX),
+                            reason,
+                        });
+                    }
+                    (Some(_), InputPolicy::Quarantine) => {
+                        eff_rows.push(sanitize_row(row, n_items));
+                        rows.push(row.clone());
+                    }
+                    (None, _) => {
+                        eff_rows.push(row.clone());
+                        rows.push(row.clone());
+                    }
+                }
+            }
+            let data = TransactionSet::from_rows(&eff_rows, n_items);
             let counts = self.sensitive.occurrence_counts(&data);
             // Find the worst offender, if any.
             let offender = counts
@@ -121,14 +327,24 @@ impl StreamingAnonymizer {
                 .map(|(r, _)| self.sensitive.items()[r]);
             match offender {
                 None => {
-                    let result = Anonymizer::new(self.config).anonymize(&data, &self.sensitive)?;
+                    let robust = Anonymizer::new(self.config)
+                        .anonymize_rows_traced(&rows, &self.sensitive, &self.recovery, &self.rec)
+                        .map_err(|e| match e {
+                            // Batch-local row index -> stream id.
+                            CahdError::CorruptRow { row, reason } => CahdError::CorruptRow {
+                                row: usize::try_from(self.buffer[row].0).unwrap_or(usize::MAX),
+                                reason,
+                            },
+                            other => other,
+                        })?;
+                    let published = robust.result.published;
                     let stream_ids: Vec<u64> = self.buffer.iter().map(|&(id, _)| id).collect();
                     strict_invariant!(
-                        result.published.satisfies(p),
+                        published.satisfies(p),
                         "a released chunk must satisfy the privacy degree"
                     );
                     strict_invariant_eq!(
-                        result.published.n_transactions(),
+                        published.n_transactions(),
                         stream_ids.len(),
                         "a chunk must publish exactly the batch it covers"
                     );
@@ -136,7 +352,7 @@ impl StreamingAnonymizer {
                     self.buffer = std::mem::take(&mut self.stash);
                     return Ok(ReleaseChunk {
                         stream_ids,
-                        published: result.published,
+                        published,
                     });
                 }
                 Some(item) if !final_flush => {
@@ -252,7 +468,7 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let s = StreamingAnonymizer::new(config(2), sensitive(), 10);
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 10);
         assert!(s.finish().unwrap().is_none());
     }
 
@@ -260,5 +476,139 @@ mod tests {
     #[should_panic(expected = "at least 2p")]
     fn tiny_batch_rejected() {
         StreamingAnonymizer::new(config(5), sensitive(), 9);
+    }
+
+    #[test]
+    fn finish_with_less_than_p_sensitive_rows_is_infeasible() {
+        // Fewer buffered rows than p, one of them sensitive: the final
+        // flush cannot satisfy 1/p and must error, not silently release.
+        let mut s = StreamingAnonymizer::new(config(4), sensitive(), 8);
+        assert!(s.push(vec![0, 9]).unwrap().is_none());
+        assert!(s.push(vec![1]).unwrap().is_none());
+        assert!(s.buffered() < 4);
+        let err = s.finish().unwrap_err();
+        assert!(matches!(err, CahdError::Infeasible { item: 9, p: 4, .. }));
+        // The error closed the stream all the same.
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn push_after_finish_is_rejected() {
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        for i in 0..3u32 {
+            assert!(s.push(vec![i % 4]).unwrap().is_none());
+        }
+        let final_chunk = s.finish().unwrap().expect("buffered rows flush");
+        assert_eq!(final_chunk.stream_ids, vec![0, 1, 2]);
+        assert_eq!(s.push(vec![0]).unwrap_err(), CahdError::StreamFinished);
+        // A second finish is an idempotent no-op.
+        assert!(s.finish().unwrap().is_none());
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_releases_identical_chunks() {
+        let rows: Vec<Vec<u32>> = (0..20u32)
+            .map(|i| {
+                let mut row = vec![i % 4];
+                if i % 8 == 0 {
+                    row.push(9);
+                }
+                row
+            })
+            .collect();
+        // Uninterrupted reference run.
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        let mut reference = Vec::new();
+        for row in &rows {
+            if let Some(c) = s.push(row.clone()).unwrap() {
+                reference.push(c);
+            }
+        }
+        if let Some(c) = s.finish().unwrap() {
+            reference.push(c);
+        }
+        // Kill after 11 rows, checkpoint, resume, replay the tail.
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        let mut chunks = Vec::new();
+        for row in &rows[..11] {
+            if let Some(c) = s.push(row.clone()).unwrap() {
+                chunks.push(c);
+            }
+        }
+        let cp = s.checkpoint();
+        drop(s); // the "killed" process
+        let rec = Recorder::new();
+        let mut s = StreamingAnonymizer::resume_traced(config(2), sensitive(), &cp, &rec).unwrap();
+        assert_eq!(s.buffered(), 3); // 11 pushed, 8 released
+        for row in &rows[11..] {
+            if let Some(c) = s.push(row.clone()).unwrap() {
+                chunks.push(c);
+            }
+        }
+        if let Some(c) = s.finish().unwrap() {
+            chunks.push(c);
+        }
+        assert_eq!(chunks, reference);
+        assert_eq!(rec.snapshot().counter("core.resumed_batches"), Some(1));
+    }
+
+    #[test]
+    fn resume_cross_checks_fail_closed() {
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        s.push(vec![0]).unwrap();
+        let cp = s.checkpoint();
+        // Wrong privacy degree.
+        let err = StreamingAnonymizer::resume(config(3), sensitive(), &cp).unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { ref reason }
+            if reason.contains("privacy degree")));
+        // Wrong sensitive set.
+        let err = StreamingAnonymizer::resume(config(2), SensitiveSet::new(vec![8], 10), &cp)
+            .unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { .. }));
+        // Tampered payload.
+        let mut bad = cp.clone();
+        bad.buffer[0].1 = vec![7];
+        let err = StreamingAnonymizer::resume(config(2), sensitive(), &bad).unwrap_err();
+        assert!(matches!(err, CahdError::CorruptCheckpoint { ref reason }
+            if reason.contains("digest")));
+    }
+
+    #[test]
+    fn quarantine_policy_keeps_bad_stream_rows() {
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8)
+            .with_recovery(RecoveryConfig::quarantine());
+        let mut chunks = Vec::new();
+        for i in 0..8u32 {
+            let row = if i == 3 {
+                vec![1, 1, 99] // duplicate + out-of-range
+            } else {
+                vec![i % 4]
+            };
+            if let Some(c) = s.push(row).unwrap() {
+                chunks.push(c);
+            }
+        }
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].published.n_transactions(), 8);
+        assert!(chunks[0].published.satisfies(2));
+
+        // The same stream under the default strict policy errors, naming
+        // the stream id.
+        let mut s = StreamingAnonymizer::new(config(2), sensitive(), 8);
+        for i in 0..7u32 {
+            let row = if i == 3 { vec![1, 1, 99] } else { vec![i % 4] };
+            if i < 7 {
+                match s.push(row) {
+                    Ok(None) => {}
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+        }
+        let err = s.push(vec![0]).unwrap_err();
+        assert!(
+            matches!(err, CahdError::CorruptRow { row: 3, .. }),
+            "{err:?}"
+        );
     }
 }

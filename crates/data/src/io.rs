@@ -10,14 +10,17 @@ use std::path::Path;
 
 use crate::transaction::{ItemId, TransactionSet};
 
-/// Reads a `.dat` basket stream. The item universe is `0..=max_id` unless
-/// `n_items` forces a larger one.
+/// Reads a `.dat` basket stream into *raw* rows plus the inferred item
+/// universe (`0..=max_id`, or 0 when every row is empty).
 ///
 /// Lines that are empty or start with `#` are skipped. Item ids must parse
-/// as `u32`.
-pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<TransactionSet> {
+/// as `u32`. Rows are returned exactly as written — unsorted, duplicates
+/// kept — so ingestion layers can distinguish a malformed row from its
+/// normalized form ([`crate::TransactionSet::from_rows`] sorts and dedups).
+pub fn read_dat_rows<R: BufRead>(reader: R) -> io::Result<(Vec<Vec<ItemId>>, usize)> {
     let mut rows: Vec<Vec<ItemId>> = Vec::new();
     let mut max_id: u64 = 0;
+    let mut any_item = false;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -33,15 +36,22 @@ pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<Tra
                 )
             })?;
             max_id = max_id.max(id as u64);
+            any_item = true;
             row.push(id);
         }
         rows.push(row);
     }
-    let inferred = if rows.iter().all(std::vec::Vec::is_empty) {
-        0
-    } else {
-        max_id as usize + 1
-    };
+    let inferred = if any_item { max_id as usize + 1 } else { 0 };
+    Ok((rows, inferred))
+}
+
+/// Reads a `.dat` basket stream. The item universe is `0..=max_id` unless
+/// `n_items` forces a larger one.
+///
+/// Lines that are empty or start with `#` are skipped. Item ids must parse
+/// as `u32`.
+pub fn read_dat<R: BufRead>(reader: R, n_items: Option<usize>) -> io::Result<TransactionSet> {
+    let (rows, inferred) = read_dat_rows(reader)?;
     let d = n_items.unwrap_or(0).max(inferred);
     Ok(TransactionSet::from_rows(&rows, d))
 }
@@ -129,6 +139,16 @@ mod tests {
         let back = read_dat_file(&path, Some(10)).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn raw_rows_keep_duplicates_and_order() {
+        let (rows, inferred) = read_dat_rows(Cursor::new("# header\n\n5 2 5\n7 1\n")).unwrap();
+        assert_eq!(rows, vec![vec![5, 2, 5], vec![7, 1]]);
+        assert_eq!(inferred, 8);
+        // The normalizing reader sorts and dedups the same stream.
+        let t = read_dat(Cursor::new("5 2 5\n"), None).unwrap();
+        assert_eq!(t.transaction(0), &[2, 5]);
     }
 
     #[test]

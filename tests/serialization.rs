@@ -47,6 +47,51 @@ fn json_is_human_inspectable() {
 }
 
 #[test]
+fn checkpoint_fixture_resumes_and_tampered_one_fails_closed() {
+    use cahd::core::checkpoint::StreamingCheckpoint;
+    use cahd::core::streaming::StreamingAnonymizer;
+    use cahd::core::CahdError;
+
+    // The clean fixture (a real `--checkpoint` pause after one 40-row
+    // batch of fixtures/demo.dat) validates and resumes.
+    let text = std::fs::read_to_string("fixtures/demo_checkpoint.json").unwrap();
+    let cp: StreamingCheckpoint = serde_json::from_str(&text).unwrap();
+    cp.validate().unwrap();
+    assert_eq!(cp.next_id, 40);
+    let sens = SensitiveSet::new(vec![14, 26, 28], 30);
+    let mut s =
+        StreamingAnonymizer::resume(AnonymizerConfig::with_privacy_degree(4), sens.clone(), &cp)
+            .unwrap();
+    assert_eq!(s.next_stream_id(), 40);
+    // It is live: feeding the rest of demo.dat releases the stream's
+    // remaining chunks.
+    let data = cahd::data::io::read_dat_file("fixtures/demo.dat", Some(30)).unwrap();
+    let mut released = 0;
+    for i in 40..data.n_transactions() {
+        if s.push(data.transaction(i).to_vec()).unwrap().is_some() {
+            released += 1;
+        }
+    }
+    if s.finish().unwrap().is_some() {
+        released += 1;
+    }
+    assert_eq!(released, 2, "80 remaining rows at batch 40");
+
+    // The tampered twin (stream cursor advanced behind the digest's back)
+    // fails closed before any state is trusted.
+    let text = std::fs::read_to_string("fixtures/demo_checkpoint_tampered.json").unwrap();
+    let bad: StreamingCheckpoint = serde_json::from_str(&text).unwrap();
+    let err = bad.validate().unwrap_err();
+    assert!(
+        matches!(err, CahdError::CorruptCheckpoint { ref reason } if reason.contains("digest")),
+        "{err:?}"
+    );
+    assert!(
+        StreamingAnonymizer::resume(AnonymizerConfig::with_privacy_degree(4), sens, &bad,).is_err()
+    );
+}
+
+#[test]
 fn dat_roundtrip_through_disk() {
     let data = cahd::data::profiles::bms1_like(0.01, 9);
     let path = std::env::temp_dir().join(format!("cahd_it_{}.dat", std::process::id()));
