@@ -68,8 +68,10 @@ impl GeneralizedRelease {
         let groups = partition
             .iter()
             .map(|members| {
-                let mut present_count: std::collections::HashMap<ItemId, u32> =
-                    std::collections::HashMap::new();
+                // Ordered map (CAHD-L001): the keys are iterated below to
+                // build `possible`, so visit order must be deterministic.
+                let mut present_count: std::collections::BTreeMap<ItemId, u32> =
+                    std::collections::BTreeMap::new();
                 let mut sens_count = vec![0u32; sensitive.len()];
                 for &t in members {
                     for &item in data.transaction(t as usize) {
@@ -80,8 +82,8 @@ impl GeneralizedRelease {
                     }
                 }
                 let g = members.len() as u32;
-                let mut possible: Vec<ItemId> = present_count.keys().copied().collect();
-                possible.sort_unstable();
+                // `BTreeMap` keys come out ascending: no fix-up sort needed.
+                let possible: Vec<ItemId> = present_count.keys().copied().collect();
                 let certain: Vec<ItemId> = possible
                     .iter()
                     .copied()
@@ -281,6 +283,20 @@ mod tests {
             assert_eq!(gg.members, pg.members);
             assert_eq!(gg.sensitive_counts, pg.sensitive_counts);
         }
+    }
+
+    #[test]
+    fn extent_order_is_pinned() {
+        // Regression: `possible`/`certain` must come out ascending no
+        // matter what order items are first seen in. Rows deliberately
+        // touch items in descending, interleaved order.
+        let d = TransactionSet::from_rows(&[vec![1, 4, 7], vec![2, 4, 9], vec![0, 4, 8]], 10);
+        let s = SensitiveSet::new(vec![], 10);
+        let rel = GeneralizedRelease::from_partition(&d, &s, &[vec![2, 1, 0]]);
+        let g = &rel.groups[0];
+        assert_eq!(g.possible, vec![0, 1, 2, 4, 7, 8, 9]);
+        assert_eq!(g.certain, vec![4]);
+        assert_eq!(g.members, vec![2, 1, 0]); // member order untouched
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub fn perm_mondrian(
             });
         }
     }
+    // cahd-lint: allow(L002, reason = "elapsed-time stat only; release bytes never depend on it")
     let t0 = Instant::now();
     let mut stats = PmStats::default();
     let mut groups: Vec<AnonymizedGroup> = Vec::new();

@@ -817,6 +817,45 @@ pub fn check(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Flags accepted by [`lint`].
+pub const LINT_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "json",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "root",
+        takes_value: true,
+    },
+];
+
+/// `lint [--json] [--root DIR]`: run the `cahd-lint` static-analysis
+/// registry over the workspace's own sources (see `docs/LINTS.md`) —
+/// where `check` audits a finished release, `lint` audits the code that
+/// produces releases. Findings make the command fail after the report is
+/// printed, mirroring `check`.
+pub fn lint(args: &Args) -> Result<String, CliError> {
+    let root = match args.value("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => cahd_lint::discover_root().ok_or_else(|| {
+            CliError::Usage(
+                "no [workspace] Cargo.toml above the current directory; pass --root DIR".into(),
+            )
+        })?,
+    };
+    let report = cahd_lint::run_workspace(&root).map_err(|e| CliError::Run(e.to_string()))?;
+    let out = if args.has("json") {
+        format!("{}\n", report.render_json())
+    } else {
+        report.render_human()
+    };
+    if report.is_clean() {
+        Ok(out)
+    } else {
+        Err(CliError::Check(out))
+    }
+}
+
 /// Flags accepted by [`evaluate`].
 pub const EVALUATE_FLAGS: &[FlagSpec] = &[
     FlagSpec {
@@ -1286,6 +1325,20 @@ mod tests {
         assert!(out.contains("max association probability"));
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn lint_passthrough_reports_clean_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_string_lossy()
+            .into_owned();
+        let out = lint(&parse(LINT_FLAGS, &["--root", &root, "--json"])).unwrap();
+        assert!(out.contains("\"clean\":true"), "{out}");
+        let human = lint(&parse(LINT_FLAGS, &["--root", &root])).unwrap();
+        assert!(human.contains("lint: PASS"), "{human}");
     }
 
     #[test]

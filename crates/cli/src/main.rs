@@ -32,6 +32,9 @@ usage:
   cahd-cli check     <data.dat> <release.json> --p P [--json]
                      [--trace trace.json]  (audit a --trace-json report too)
                      (all diagnostics in one run; see docs/CHECKS.md)
+  cahd-cli lint      [--json] [--root DIR]
+                     (static analysis of this workspace's own sources;
+                     see docs/LINTS.md)
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
   cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
         }
         "verify" => Args::parse(rest, commands::VERIFY_FLAGS).and_then(|a| commands::verify(&a)),
         "check" => Args::parse(rest, commands::CHECK_FLAGS).and_then(|a| commands::check(&a)),
+        "lint" => Args::parse(rest, commands::LINT_FLAGS).and_then(|a| commands::lint(&a)),
         "report" => Args::parse(rest, &[]).and_then(|a| commands::report(&a)),
         "evaluate" => {
             Args::parse(rest, commands::EVALUATE_FLAGS).and_then(|a| commands::evaluate(&a))

@@ -167,6 +167,7 @@ pub fn cahd_traced(
         });
     }
     let _group_span = rec.span("pipeline/group");
+    // cahd-lint: allow(L002, reason = "elapsed-time stat only; release bytes never depend on it")
     let t_start = Instant::now();
 
     // Split every transaction into QID items and sensitive ranks once.

@@ -6,6 +6,8 @@
 //! next/prev-alive steps (the "linked-list data representation" of
 //! Section IV).
 
+use crate::invariant::strict_invariant;
+
 /// Sentinel for "no neighbor".
 const NIL: u32 = u32::MAX;
 
@@ -64,7 +66,7 @@ impl OrderList {
     /// The alive slot after `i` (which must itself be alive).
     #[inline]
     pub fn next(&self, i: usize) -> Option<usize> {
-        debug_assert!(self.alive[i], "next() of a removed slot");
+        strict_invariant!(self.alive[i], "next() of a removed slot");
         let n = self.next[i];
         (n != NIL).then_some(n as usize)
     }
@@ -72,7 +74,7 @@ impl OrderList {
     /// The alive slot before `i` (which must itself be alive).
     #[inline]
     pub fn prev(&self, i: usize) -> Option<usize> {
-        debug_assert!(self.alive[i], "prev() of a removed slot");
+        strict_invariant!(self.alive[i], "prev() of a removed slot");
         let p = self.prev[i];
         (p != NIL).then_some(p as usize)
     }

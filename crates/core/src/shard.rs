@@ -253,6 +253,7 @@ pub fn cahd_sharded_recovering(
     let _group_span = rec.span("pipeline/group");
     rec.gauge("core.shards", k as f64);
     rec.gauge("core.threads", threads as f64);
+    // cahd-lint: allow(L002, reason = "elapsed-time stat only; release bytes never depend on it")
     let t_start = Instant::now();
     let p = config.p;
 
@@ -328,6 +329,7 @@ pub fn cahd_sharded_recovering(
         }
         let caught = catch_unwind(AssertUnwindSafe(|| {
             if plan.shard_fault(i, attempt) == Some(ShardFault::Panic) {
+                // cahd-lint: allow(L003, reason = "deterministic fault injection, caught by the enclosing catch_unwind")
                 panic!("injected fault: shard {i} attempt {attempt}");
             }
             scan_shard(i, kernel_mode, scratch)
@@ -340,6 +342,7 @@ pub fn cahd_sharded_recovering(
     };
 
     let run_shard = |i: usize| -> Result<ShardOutcome, CahdError> {
+        // cahd-lint: allow(L002, reason = "feeds the core.shard_scan_ns histogram; merge order of shard outputs is index-based, never time-based")
         let t_shard = Instant::now();
         let mut accepted = None;
         let mut recovered = false;
@@ -407,14 +410,17 @@ pub fn cahd_sharded_recovering(
                         break;
                     }
                     let outcome = run_shard(i);
+                    // cahd-lint: allow(L003, reason = "poisoned only if another worker already panicked; re-panicking surfaces that original failure")
                     slots.lock().expect("shard worker poisoned the slots")[i] = Some(outcome);
                 });
             }
         });
         slots
             .into_inner()
+            // cahd-lint: allow(L003, reason = "poisoned only if a worker panicked; re-panicking surfaces that original failure")
             .expect("shard worker poisoned the slots")
             .into_iter()
+            // cahd-lint: allow(L003, reason = "the fetch_add loop hands out every index in 0..k exactly once before the scope joins")
             .map(|slot| slot.expect("every shard index was claimed by a worker"))
             .collect()
     };
@@ -461,6 +467,7 @@ pub fn cahd_sharded_recovering(
     while hist.iter().any(|&c| c * p > leftover.len()) {
         let g = member_groups
             .pop()
+            // cahd-lint: allow(L003, reason = "global feasibility (checked at entry) guarantees the loop terminates before member_groups empties")
             .expect("global feasibility bounds the dissolve loop");
         stats.cahd.groups_formed -= 1;
         stats.merge_dissolved += 1;

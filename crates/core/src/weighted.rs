@@ -130,6 +130,7 @@ pub fn cahd_weighted(
             sensitive_items: sensitive.n_items(),
         });
     }
+    // cahd-lint: allow(L002, reason = "elapsed-time stat only; release bytes never depend on it")
     let t_start = Instant::now();
 
     // Split rows into QID (item, count) pairs and sensitive ranks.

@@ -154,6 +154,7 @@ impl QuestGenerator {
     /// [`QuestConfig::validate`]).
     pub fn new(config: QuestConfig, seed: u64) -> Self {
         if let Err(e) = config.validate() {
+            // cahd-lint: allow(L003, reason = "documented '# Panics' constructor contract; the CLI validates user configs before construction")
             panic!("invalid Quest configuration: {e}");
         }
         QuestGenerator {

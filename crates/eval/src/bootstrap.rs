@@ -52,7 +52,7 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
             s / n as f64
         })
         .collect();
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((resamples as f64) * alpha).floor() as usize;
     let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);

@@ -140,6 +140,7 @@ pub fn generate_workload<R: Rng + ?Sized>(
             let item = match config.selection {
                 QidSelection::Uniform => eligible[rng.gen_range(0..eligible.len())],
                 QidSelection::SupportWeighted => {
+                    // cahd-lint: allow(L003, reason = "entry guard returned early unless eligible.len() >= r >= 1, so cum is non-empty here")
                     let x = rng.gen::<f64>() * cum.last().unwrap();
                     let idx = cum.partition_point(|&c| c < x);
                     eligible[idx.min(eligible.len() - 1)]

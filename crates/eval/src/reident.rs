@@ -86,6 +86,7 @@ fn count_matching(inv: &cahd_sparse::CsrMatrix, items: &[ItemId], limit: usize) 
     // Intersect posting lists, smallest first.
     let mut lists: Vec<&[u32]> = items.iter().map(|&i| inv.row(i as usize)).collect();
     lists.sort_by_key(|l| l.len());
+    // cahd-lint: allow(L003, reason = "private helper; every caller passes a non-empty item list (debug_assert above)")
     let (first, rest) = lists.split_first().expect("non-empty");
     let mut count = 0;
     'outer: for &t in *first {

@@ -41,8 +41,11 @@ pub fn mine_rules(
     max_len: usize,
 ) -> Vec<AssociationRule> {
     let sets = frequent_itemsets(data, min_support, max_len);
-    // Index supports by itemset for O(1) antecedent lookup.
-    let support_of: std::collections::HashMap<&[ItemId], usize> = sets
+    // Index supports by itemset for antecedent lookup. An ordered map keeps
+    // the index free of hash-iteration landmines (CAHD-L001): it is only
+    // queried today, but it stays deterministic if someone iterates it
+    // tomorrow, and lookups are O(log n) on short slices.
+    let support_of: std::collections::BTreeMap<&[ItemId], usize> = sets
         .iter()
         .map(|s| (s.items.as_slice(), s.support))
         .collect();
@@ -70,8 +73,7 @@ pub fn mine_rules(
     }
     rules.sort_by(|a, b| {
         b.confidence
-            .partial_cmp(&a.confidence)
-            .expect("confidence is finite")
+            .total_cmp(&a.confidence)
             .then(b.support.cmp(&a.support))
             .then(a.antecedent.cmp(&b.antecedent))
     });
@@ -250,6 +252,23 @@ mod tests {
         let err = confidence_error(&data, &published, &rules).unwrap();
         // First rule exact (0 error), second off by 0.5 -> mean 0.25.
         assert!((err - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_output_order_is_pinned() {
+        // Regression: the mined rule list is a release artifact, so its
+        // exact order is pinned, not just "sorted by confidence". With the
+        // Fig. 1 data and support >= 2 the only frequent pair is {0, 1},
+        // yielding exactly two rules.
+        let (data, _, _) = fig1();
+        let rules = mine_rules(&data, 2, 0.5, 3);
+        let key: Vec<(Vec<ItemId>, ItemId, usize)> = rules
+            .iter()
+            .map(|r| (r.antecedent.clone(), r.consequent, r.support))
+            .collect();
+        assert_eq!(key, vec![(vec![0], 1, 3), (vec![1], 0, 3)]);
+        assert!((rules[0].confidence - 1.0).abs() < 1e-12);
+        assert!((rules[1].confidence - 0.75).abs() < 1e-12);
     }
 
     #[test]

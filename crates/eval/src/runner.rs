@@ -63,6 +63,7 @@ pub fn evaluate_workload_traced(
     let mut kls: Vec<f64> = Vec::with_capacity(queries.len());
     let mut skipped = 0usize;
     for q in queries {
+        // cahd-lint: allow(L002, reason = "guarded by trace_on; feeds the eval.query_ns histogram only")
         let t0 = trace_on.then(std::time::Instant::now);
         match (actual_pdf(data, q), estimated_pdf(published, q)) {
             (Some(act), Some(est)) => {
@@ -176,7 +177,7 @@ fn summarize(kls: &mut [f64], skipped: usize) -> ReconstructionSummary {
             std_kl: 0.0,
         };
     }
-    kls.sort_by(|a, b| a.partial_cmp(b).expect("KL is never NaN"));
+    kls.sort_by(f64::total_cmp);
     let mean = kls.iter().sum::<f64>() / n as f64;
     let median = if n % 2 == 1 {
         kls[n / 2]
@@ -193,6 +194,7 @@ fn summarize(kls: &mut [f64], skipped: usize) -> ReconstructionSummary {
         skipped,
         mean_kl: mean,
         median_kl: median,
+        // cahd-lint: allow(L003, reason = "n == 0 early-returned above; kls holds exactly n sorted values")
         max_kl: *kls.last().unwrap(),
         std_kl: var.sqrt(),
     }

@@ -1,0 +1,633 @@
+//! A small hand-rolled Rust lexer: enough syntax awareness to lint.
+//!
+//! The analyzer must not depend on `syn` (external dependencies resolve to
+//! vendored shims in this workspace), so this module produces a flat token
+//! stream that is *string-, comment- and attribute-aware*:
+//!
+//! * comments are stripped, except that `// cahd-lint: allow(...)`
+//!   suppression directives are parsed and kept with their line numbers;
+//! * string literals (plain, raw `r#"…"#`, byte, C-style escapes) become
+//!   single [`TokenKind::Str`] tokens carrying their raw inner text, so a
+//!   `"core.pivots_scanned"` literal can be matched without tripping over
+//!   quotes elsewhere;
+//! * lifetimes are distinguished from `char` literals;
+//! * every token records the 1-based source line it starts on.
+//!
+//! A second pass ([`test_line_ranges`]) finds `#[cfg(test)]` / `#[test]`
+//! items by brace matching and returns the line ranges they span, so rules
+//! can exempt test code without a full parse.
+
+/// What a token is; the lexer does not distinguish keywords from idents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `for`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`), stored without the leading quote.
+    Lifetime,
+    /// A numeric literal (`42`, `1.0e-3`), stored verbatim.
+    Number,
+    /// A string, byte-string or char literal; `text` is the raw inner
+    /// text, escapes left as written.
+    Str,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its starting line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token text (see [`TokenKind`] for what is stored).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One parsed `// cahd-lint: allow(...)` suppression directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// The suppressed codes, normalized to `CAHD-Lxxx` form.
+    pub codes: Vec<String>,
+    /// The `reason = "..."` text, if one was given.
+    pub reason: Option<String>,
+}
+
+/// A `cahd-lint:` comment that could not be parsed as a directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MalformedDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Why it did not parse.
+    pub problem: String,
+}
+
+/// Everything the lexer extracts from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Parsed suppression directives.
+    pub allows: Vec<AllowDirective>,
+    /// `cahd-lint:` comments that failed to parse.
+    pub malformed: Vec<MalformedDirective>,
+}
+
+/// Lexes `source` into tokens plus suppression directives.
+pub fn lex(source: &str) -> LexOutput {
+    let mut out = LexOutput::default();
+    let bytes: Vec<char> = source.chars().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let push = |out: &mut LexOutput, kind, text: String, line| {
+        out.tokens.push(Token { kind, text, line });
+    };
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment: scan for a suppression directive, then
+                // skip. Doc comments (`///`, `//!`) are prose — a
+                // directive there would document, not suppress.
+                let is_doc = i + 2 < n && (bytes[i + 2] == '/' || bytes[i + 2] == '!');
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                if !is_doc {
+                    let text: String = bytes[start..j].iter().collect();
+                    scan_directive(&text, line, &mut out);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, nesting per Rust rules.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (text, nl, j) = scan_string(&bytes, i + 1, 0);
+                push(&mut out, TokenKind::Str, text, line);
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                let mut j = i;
+                while j < n && (bytes[j] == 'r' || bytes[j] == 'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // `j` is now at the opening quote.
+                let (text, nl, k) = scan_string(&bytes, j + 1, hashes);
+                push(&mut out, TokenKind::Str, text, line);
+                line += nl;
+                i = k;
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    // Escaped char literal: consume to the closing quote.
+                    let mut j = i + 2;
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    let text: String = bytes[i + 1..j.min(n)].iter().collect();
+                    push(&mut out, TokenKind::Str, text, line);
+                    i = (j + 1).min(n);
+                } else {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-character char literal.
+                        push(&mut out, TokenKind::Str, bytes[i + 1].to_string(), line);
+                        i = j + 1;
+                    } else {
+                        // 'name — a lifetime (or a stray quote; treat alike).
+                        let text: String = bytes[i + 1..j].iter().collect();
+                        push(&mut out, TokenKind::Lifetime, text, line);
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // Raw identifier `r#type` lexes as ident `r` then `#type`;
+                // normalize by peeking.
+                if j == i + 1 && bytes[i] == 'r' && j + 1 < n && bytes[j] == '#' {
+                    let mut k = j + 1;
+                    while k < n && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                        k += 1;
+                    }
+                    if k > j + 1 {
+                        let text: String = bytes[j + 1..k].iter().collect();
+                        push(&mut out, TokenKind::Ident, text, line);
+                        i = k;
+                        continue;
+                    }
+                }
+                let text: String = bytes[i..j].iter().collect();
+                push(&mut out, TokenKind::Ident, text, line);
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n {
+                    let d = bytes[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit() {
+                        j += 1; // decimal point, not a range or method call
+                    } else if (d == '+' || d == '-')
+                        && matches!(bytes[j - 1], 'e' | 'E')
+                        && j + 1 < n
+                        && bytes[j + 1].is_ascii_digit()
+                    {
+                        j += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[i..j].iter().collect();
+                push(&mut out, TokenKind::Number, text, line);
+                i = j;
+            }
+            c => {
+                push(&mut out, TokenKind::Punct, c.to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string literal.
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    // Accept r", b", br", rb"? (rb is not Rust but harmless), r#…#", br#…#".
+    let mut prefix = 0;
+    while j < n && (bytes[j] == 'r' || bytes[j] == 'b') && prefix < 2 {
+        j += 1;
+        prefix += 1;
+    }
+    while j < n && bytes[j] == '#' {
+        j += 1;
+    }
+    j < n && bytes[j] == '"'
+}
+
+/// Scans a string body starting just after the opening quote; `hashes` is
+/// the number of `#` in a raw-string delimiter (0 for plain strings, which
+/// honor backslash escapes). Returns `(inner_text, newlines, next_index)`.
+fn scan_string(bytes: &[char], start: usize, hashes: usize) -> (String, u32, usize) {
+    let n = bytes.len();
+    let mut j = start;
+    let mut newlines = 0u32;
+    let mut text = String::new();
+    while j < n {
+        let c = bytes[j];
+        if c == '\\' && hashes == 0 {
+            // Escape: keep both chars raw, never treat the next as a close.
+            text.push(c);
+            if j + 1 < n {
+                text.push(bytes[j + 1]);
+                if bytes[j + 1] == '\n' {
+                    newlines += 1;
+                }
+            }
+            j += 2;
+            continue;
+        }
+        if c == '"' {
+            // Close only if followed by the right number of hashes.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (text, newlines, k);
+            }
+        }
+        if c == '\n' {
+            newlines += 1;
+        }
+        text.push(c);
+        j += 1;
+    }
+    (text, newlines, n)
+}
+
+/// Parses a `cahd-lint:` directive out of one comment body, if present.
+/// The marker must open the comment (mentions of the tool mid-prose are
+/// not directives).
+fn scan_directive(comment: &str, line: u32, out: &mut LexOutput) {
+    let Some(rest) = comment.trim_start().strip_prefix("cahd-lint") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix(':').unwrap_or(rest).trim_start();
+    let bad = |problem: &str| MalformedDirective {
+        line,
+        problem: problem.to_string(),
+    };
+    let Some(body) = rest.strip_prefix("allow") else {
+        out.malformed
+            .push(bad("expected `allow(...)` after `cahd-lint:`"));
+        return;
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        out.malformed.push(bad("expected `(` after `allow`"));
+        return;
+    };
+    let Some(close) = find_unquoted(body, ')') else {
+        out.malformed.push(bad("unclosed `allow(`"));
+        return;
+    };
+    let inner = &body[..close];
+    let mut codes = Vec::new();
+    let mut reason = None;
+    for item in split_unquoted(inner, ',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(r) = item.strip_prefix("reason") {
+            let r = r.trim_start();
+            let Some(r) = r.strip_prefix('=') else {
+                out.malformed.push(bad("expected `reason = \"...\"`"));
+                return;
+            };
+            let r = r.trim();
+            if r.len() >= 2 && r.starts_with('"') && r.ends_with('"') {
+                reason = Some(r[1..r.len() - 1].to_string());
+            } else {
+                out.malformed.push(bad("reason must be a quoted string"));
+                return;
+            }
+        } else if let Some(code) = normalize_code(item) {
+            codes.push(code);
+        } else {
+            out.malformed
+                .push(bad(&format!("unrecognized item {item:?} in allow list")));
+            return;
+        }
+    }
+    if codes.is_empty() {
+        out.malformed.push(bad("allow list names no lint code"));
+        return;
+    }
+    out.allows.push(AllowDirective {
+        line,
+        codes,
+        reason,
+    });
+}
+
+/// Normalizes `L001` / `CAHD-L001` to `CAHD-L001`; `None` if neither.
+fn normalize_code(item: &str) -> Option<String> {
+    let short = item.strip_prefix("CAHD-").unwrap_or(item);
+    let b = short.as_bytes();
+    if b.len() == 4 && b[0].is_ascii_uppercase() && b[1..].iter().all(u8::is_ascii_digit) {
+        Some(format!("CAHD-{short}"))
+    } else {
+        None
+    }
+}
+
+/// Index of the first `c` outside double quotes, or `None`.
+fn find_unquoted(s: &str, c: char) -> Option<usize> {
+    let mut quoted = false;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '"' => quoted = !quoted,
+            _ if ch == c && !quoted => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on `sep` outside double quotes.
+fn split_unquoted(s: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut quoted = false;
+    let mut start = 0;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '"' => quoted = !quoted,
+            _ if ch == sep && !quoted => {
+                parts.push(&s[start..i]);
+                start = i + ch.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// Scans the token stream for attributes whose argument list mentions the
+/// bare identifier `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test,
+/// …))]`), then brace-matches the following item. An inner `#![cfg(test)]`
+/// marks the whole file. The result is sorted and may overlap; use
+/// [`in_ranges`] to query it.
+pub fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        let mut j = i + 1;
+        let inner = j < n && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= n || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let Some(close) = match_bracket(tokens, j, '[', ']') else {
+            break;
+        };
+        let is_test = tokens[j + 1..close].iter().any(|t| t.is_ident("test"));
+        if is_test && inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            let last_line = tokens.last().map_or(attr_start_line, |t| t.line);
+            return vec![(1, last_line)];
+        }
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = close + 1;
+        while k + 1 < n && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            match match_bracket(tokens, k + 1, '[', ']') {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        // Consume the item: to a `;` at paren/bracket depth 0, or through
+        // the matched `{ ... }` body.
+        let mut parens = 0i32;
+        let mut brackets = 0i32;
+        let mut end_line = attr_start_line;
+        while k < n {
+            let t = &tokens[k];
+            if t.is_punct('(') {
+                parens += 1;
+            } else if t.is_punct(')') {
+                parens -= 1;
+            } else if t.is_punct('[') {
+                brackets += 1;
+            } else if t.is_punct(']') {
+                brackets -= 1;
+            } else if t.is_punct(';') && parens == 0 && brackets == 0 {
+                end_line = t.line;
+                break;
+            } else if t.is_punct('{') && parens == 0 && brackets == 0 {
+                match match_bracket(tokens, k, '{', '}') {
+                    Some(c) => {
+                        end_line = tokens[c].line;
+                        k = c;
+                    }
+                    None => end_line = tokens[n - 1].line,
+                }
+                break;
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        ranges.push((attr_start_line, end_line));
+        i = k + 1;
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Index of the token matching the opener at `open_idx`, or `None`.
+fn match_bracket(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `line` falls inside any of the (sorted, inclusive) ranges.
+pub fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+let a = "HashMap.iter() // not code";
+// a real comment with unwrap()
+let b = 'x';
+"##;
+        let lx = lex(src);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let strs: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(strs[0].contains("HashMap.iter()"), "{strs:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"a \"b\" c\"#; let t = 1;";
+        let lx = lex(src);
+        let s = lx
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("one string");
+        assert_eq!(s.text, "a \"b\" c");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'z' }");
+        let lifetimes: Vec<&Token> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "z"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lx = lex("a\nb\n  c");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let lx = lex("0..n; 1.max(2); 3.5e-2;");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("max")));
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "3.5e-2"));
+    }
+
+    #[test]
+    fn directive_parses_codes_and_reason() {
+        let lx = lex("x(); // cahd-lint: allow(L001, CAHD-L003, reason = \"proven, elsewhere\")");
+        assert_eq!(lx.allows.len(), 1);
+        let d = &lx.allows[0];
+        assert_eq!(d.codes, vec!["CAHD-L001", "CAHD-L003"]);
+        assert_eq!(d.reason.as_deref(), Some("proven, elsewhere"));
+        assert!(lx.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        let lx = lex("// cahd-lint: allow(\n// cahd-lint: deny(L001)\n// cahd-lint: allow(bogus)");
+        assert_eq!(lx.malformed.len(), 3, "{:?}", lx.malformed);
+        assert!(lx.allows.is_empty());
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn x() {}\n}\nfn after() {}";
+        let lx = lex(src);
+        let ranges = test_line_ranges(&lx.tokens);
+        assert_eq!(ranges, vec![(2, 5)]);
+        assert!(!in_ranges(&ranges, 1));
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 6));
+    }
+
+    #[test]
+    fn test_ranges_cover_test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() {\n  panic!();\n}\nfn ok() {}";
+        let lx = lex(src);
+        let ranges = test_line_ranges(&lx.tokens);
+        assert_eq!(ranges, vec![(1, 5)]);
+        assert!(!in_ranges(&ranges, 6));
+    }
+
+    #[test]
+    fn non_test_attrs_are_ignored() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[cfg(feature = \"test-utils\")]\nfn f() {}";
+        let lx = lex(src);
+        assert!(test_line_ranges(&lx.tokens).is_empty());
+    }
+}

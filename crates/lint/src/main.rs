@@ -1,0 +1,77 @@
+//! The `cahd-lint` binary: scan the workspace, report, gate.
+//!
+//! Exit codes: `0` lint-clean, `1` findings, `2` usage or I/O error —
+//! CI gates on this contract (`scripts/lint.sh`). There is no `--fix`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cahd-lint — workspace-native static analysis (determinism + diagnostic hygiene)
+
+usage:
+  cahd-lint [--root DIR] [--json]
+  cahd-lint --list
+
+  --root DIR   workspace root (default: nearest ancestor with a
+               [workspace] Cargo.toml, else the current directory)
+  --json       machine-readable report on stdout
+  --list       print the rule registry and exit
+
+Findings are suppressed inline with
+  // cahd-lint: allow(L001, reason = \"why this is sound\")
+on the offending line or the line above. See docs/LINTS.md.
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--list" => {
+                for r in cahd_lint::RULES {
+                    println!("{}  {:28} {}", r.code, r.name, r.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root
+        .or_else(cahd_lint::discover_root)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match cahd_lint::run_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

@@ -43,6 +43,7 @@ pub fn gibbs_poole_stockmeyer(g: &impl NeighborOracle) -> Permutation {
             .last_level()
             .iter()
             .min_by_key(|&&w| (g.degree(w as usize), w))
+            // cahd-lint: allow(L003, reason = "a BFS level structure rooted at u always has a non-empty last level (it contains u at minimum)")
             .expect("non-empty level");
         stamp += 1;
         let lv = LevelStructure::build(g, v, &mut mark, stamp);
@@ -98,6 +99,7 @@ pub fn gibbs_poole_stockmeyer(g: &impl NeighborOracle) -> Permutation {
         }
     }
     debug_assert_eq!(order.len(), n);
+    // cahd-lint: allow(L003, reason = "the component sweep pushes each vertex exactly once (debug_assert_eq above)")
     Permutation::from_new_to_old(order).expect("GPS visits every vertex once")
 }
 

@@ -111,6 +111,7 @@ pub fn minhash_order(a: &CsrMatrix, n_hashes: usize, seed: u64) -> Permutation {
         let sy = &sig[y as usize * n_hashes..(y as usize + 1) * n_hashes];
         sx.cmp(sy).then(x.cmp(&y))
     });
+    // cahd-lint: allow(L003, reason = "order is a sort of 0..n, which is a permutation by construction")
     Permutation::from_new_to_old(order).expect("sorted indices are a permutation")
 }
 
@@ -118,6 +119,7 @@ pub fn minhash_order(a: &CsrMatrix, n_hashes: usize, seed: u64) -> Permutation {
 pub fn lexicographic_order(a: &CsrMatrix) -> Permutation {
     let mut order: Vec<u32> = (0..a.n_rows() as u32).collect();
     order.sort_by(|&x, &y| a.row(x as usize).cmp(a.row(y as usize)).then(x.cmp(&y)));
+    // cahd-lint: allow(L003, reason = "order is a sort of 0..n, which is a permutation by construction")
     Permutation::from_new_to_old(order).expect("sorted indices are a permutation")
 }
 

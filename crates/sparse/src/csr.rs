@@ -85,6 +85,7 @@ impl CsrMatrix {
         assert_eq!(indptr.len(), n_rows + 1, "indptr length mismatch");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
         assert_eq!(
+            // cahd-lint: allow(L003, reason = "indptr.len() == n_rows + 1 >= 1 was just asserted")
             *indptr.last().unwrap(),
             indices.len(),
             "indptr end mismatch"
@@ -206,6 +207,7 @@ impl CsrMatrix {
         let mut indptr = Vec::with_capacity(self.n_cols + 1);
         indptr.push(0usize);
         for &c in &counts {
+            // cahd-lint: allow(L003, reason = "indptr starts with a pushed 0, so last() is always Some")
             indptr.push(indptr.last().unwrap() + c);
         }
         let mut cursor = indptr[..self.n_cols].to_vec();

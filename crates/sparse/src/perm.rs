@@ -139,6 +139,7 @@ impl Permutation {
             .iter()
             .map(|&mid| other.old_to_new[mid as usize])
             .collect();
+        // cahd-lint: allow(L003, reason = "composing two validated bijections yields a bijection")
         Permutation::from_old_to_new(old_to_new).expect("composition of bijections")
     }
 

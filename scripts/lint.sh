@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Runs cahd-lint over the workspace and writes the JSON report to
+# results/lint_report.json (the committed copy CI diffs against).
+# Exit code: 0 clean, 1 findings, 2 usage/IO error — suitable for gating.
+set -eu
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+# Human-readable pass/fail to the terminal first.
+set +e
+cargo run -q -p cahd-lint
+status=$?
+set -e
+
+# JSON report regardless of outcome, so a failing run still uploads
+# evidence. A second invocation is cheap: the binary is already built.
+cargo run -q -p cahd-lint -- --json > results/lint_report.json || true
+
+echo "report: results/lint_report.json"
+exit "$status"
