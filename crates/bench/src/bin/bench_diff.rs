@@ -12,13 +12,17 @@
 //! more than the threshold (default 10%) are flagged `REGRESSION`;
 //! `--fail-on-regression` turns any flag into a non-zero exit status.
 //! Entries present in only one file are listed but never flagged.
+//! `--only PREFIX` restricts the diff (and the regression gate) to the
+//! entries whose name starts with the prefix — CI uses it to gate the
+//! ordering-targeted `bms1` entries without tripping on the noisier
+//! large workloads.
 
 use std::process::ExitCode;
 
 use cahd_bench::snapshot::{PerfSnapshot, SnapshotEntry};
 
-const USAGE: &str =
-    "usage: bench_diff <before.json> <after.json> [--threshold PCT] [--fail-on-regression]";
+const USAGE: &str = "usage: bench_diff <before.json> <after.json> [--threshold PCT] \
+[--only PREFIX] [--fail-on-regression]";
 
 /// Phase timings compared between snapshots, as `(label, before, after)`.
 fn phases(before: &SnapshotEntry, after: &SnapshotEntry) -> [(&'static str, f64, f64); 3] {
@@ -78,7 +82,7 @@ fn diff_entry(before: &SnapshotEntry, after: &SnapshotEntry, threshold: f64) -> 
     regressions
 }
 
-fn run(before: &PerfSnapshot, after: &PerfSnapshot, threshold: f64) -> usize {
+fn run(before: &PerfSnapshot, after: &PerfSnapshot, threshold: f64, only: Option<&str>) -> usize {
     println!(
         "comparing @{} ({}) -> @{} ({}), threshold {threshold}%",
         before.created_unix_s,
@@ -89,14 +93,15 @@ fn run(before: &PerfSnapshot, after: &PerfSnapshot, threshold: f64) -> usize {
     if before.quick != after.quick {
         println!("note: snapshots use different workload sizes; timings are not comparable");
     }
+    let keep = |name: &str| only.is_none_or(|p| name.starts_with(p));
     let mut regressions = 0;
-    for b in &before.entries {
+    for b in before.entries.iter().filter(|b| keep(&b.name)) {
         match after.entries.iter().find(|a| a.name == b.name) {
             Some(a) => regressions += diff_entry(b, a, threshold),
             None => println!("{}\n  only in before-snapshot", b.name),
         }
     }
-    for a in &after.entries {
+    for a in after.entries.iter().filter(|a| keep(&a.name)) {
         if !before.entries.iter().any(|b| b.name == a.name) {
             println!(
                 "{}\n  only in after-snapshot: total {:>9.3} ms  rcm {:>9.3} ms  group {:>9.3} ms",
@@ -115,6 +120,7 @@ fn run(before: &PerfSnapshot, after: &PerfSnapshot, threshold: f64) -> usize {
 fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 10.0f64;
+    let mut only: Option<String> = None;
     let mut fail_on_regression = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +128,10 @@ fn main() -> ExitCode {
             "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v >= 0.0 => threshold = v,
                 _ => return usage_error("--threshold needs a non-negative number"),
+            },
+            "--only" => match args.next() {
+                Some(v) => only = Some(v),
+                None => return usage_error("--only needs an entry-name prefix"),
             },
             "--fail-on-regression" => fail_on_regression = true,
             "--help" | "-h" => {
@@ -144,7 +154,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let regressions = run(&before, &after, threshold);
+    let regressions = run(&before, &after, threshold, only.as_deref());
     if fail_on_regression && regressions > 0 {
         return ExitCode::FAILURE;
     }

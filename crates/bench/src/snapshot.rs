@@ -17,6 +17,7 @@ use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
 use cahd_core::shard::ParallelConfig;
 use cahd_data::{profiles, SensitiveSet};
 use cahd_obs::Recorder;
+use cahd_rcm::OrderingStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -71,6 +72,7 @@ fn span_ms(trace: &cahd_obs::TraceReport, path: &str) -> f64 {
 /// counters are deterministic across repeats, so the repeats only damp
 /// scheduler noise): per-phase minima track the cost of the work itself
 /// rather than whichever run the scheduler favoured overall.
+#[allow(clippy::too_many_arguments)]
 fn run_entry(
     name: &str,
     data: &cahd_data::TransactionSet,
@@ -78,15 +80,18 @@ fn run_entry(
     alpha: usize,
     shards: usize,
     seed: u64,
+    ordering: OrderingStrategy,
+    ordering_threads: usize,
 ) -> SnapshotEntry {
     let mut rng = StdRng::seed_from_u64(seed);
     let sensitive = SensitiveSet::select_random(data, 4, p, &mut rng)
         .expect("reference profiles admit 4 sensitive items");
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering);
     cfg.cahd = cfg.cahd.with_alpha(alpha);
     if shards > 1 {
         cfg = cfg.with_parallel(ParallelConfig::new(shards, 2));
     }
+    cfg.rcm.threads = cfg.rcm.threads.max(ordering_threads);
     let mut best: Option<SnapshotEntry> = None;
     for _ in 0..5 {
         let rec = Recorder::new();
@@ -145,7 +150,28 @@ pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
     ] {
         for shards in [1usize, 4] {
             let name = format!("{profile}/p{p}/shards{shards}");
-            entries.push(run_entry(&name, data, p, alpha, shards, seed));
+            entries.push(run_entry(
+                &name,
+                data,
+                p,
+                alpha,
+                shards,
+                seed,
+                OrderingStrategy::Rcm,
+                1,
+            ));
+        }
+    }
+    // Ordering-strategy sweep on bms1 (the workload whose RCM phase the
+    // frontier-parallel engine targets): one entry per strategy and
+    // ordering thread count, named `bms1/p4/ord-<strategy>-t<threads>`.
+    // `rcm` is byte-identical to the reference at any thread count; `bfs`
+    // and `cluster` trade band quality for ordering speed (their release
+    // quality is pinned by the `ordering_quality` bench test).
+    for strategy in OrderingStrategy::ALL {
+        for threads in [1usize, 8] {
+            let name = format!("bms1/p4/ord-{}-t{threads}", strategy.name());
+            entries.push(run_entry(&name, &bms1, 4, 3, 1, seed, strategy, threads));
         }
     }
     PerfSnapshot {
@@ -211,7 +237,16 @@ mod tests {
     #[test]
     fn quick_snapshot_collects_writes_and_revalidates() {
         let snap = collect(true, 7);
-        assert_eq!(snap.entries.len(), 6);
+        assert_eq!(snap.entries.len(), 12);
+        for strategy in OrderingStrategy::ALL {
+            for threads in [1, 8] {
+                let name = format!("bms1/p4/ord-{}-t{threads}", strategy.name());
+                assert!(
+                    snap.entries.iter().any(|e| e.name == name),
+                    "missing ordering entry {name}"
+                );
+            }
+        }
         for e in &snap.entries {
             assert!(e.pivots_scanned > 0, "{}", e.name);
             assert!(e.total_ms >= e.group_ms, "{}", e.name);

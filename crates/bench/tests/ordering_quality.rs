@@ -1,0 +1,122 @@
+//! Golden band-quality and release-quality regression tests for the
+//! ordering strategies (`--ordering {rcm,bfs,cluster}`).
+//!
+//! The frontier-parallel `rcm` strategy is byte-identical to the
+//! sequential reference, so its quality is pinned exactly by the
+//! equivalence suite; this file pins what the *alternative* strategies
+//! are allowed to give up:
+//!
+//! * per-strategy rectangular-bandwidth bounds on a fixed BMS1-like
+//!   workload (the band CAHD reads its candidate windows from), and
+//! * a bounded end-to-end KL regression versus the RCM baseline on the
+//!   paper's 100-query workload.
+//!
+//! The fixtures are deterministic (fixed profile scale and seed), so a
+//! quality regression in any strategy fails `cargo test` outright.
+//!
+//! When the `CAHD_ORDERING` environment variable is set (the CI ordering
+//! matrix does this) it overrides every [`UnsymOptions::ordering`]
+//! request inside the engine, which would silently turn the three
+//! prepared datasets into one; the cross-strategy comparisons are
+//! skipped in that case — the matrix still runs the single-strategy
+//! pipeline smoke below.
+
+use cahd_bench::runs::{kl_of, prepare, run_cahd, select_sensitive, PreparedDataset};
+use cahd_data::profiles;
+use cahd_rcm::{OrderingStrategy, UnsymOptions};
+
+const SEED: u64 = 42;
+const SCALE: f64 = 0.02;
+const P: usize = 4;
+const M: usize = 4;
+const R: usize = 4;
+
+fn prepared(strategy: OrderingStrategy) -> PreparedDataset {
+    let data = profiles::bms1_like(SCALE, SEED);
+    let opts = UnsymOptions {
+        ordering: strategy,
+        ..UnsymOptions::default()
+    };
+    prepare(data, opts)
+}
+
+/// End-to-end mean KL of one strategy on the fixed workload.
+fn mean_kl(prep: &PreparedDataset) -> f64 {
+    let sensitive = select_sensitive(&prep.data, M, P, SEED);
+    let res = run_cahd(prep, &sensitive, P, 3).expect("bms1-like workload is feasible");
+    kl_of(&prep.data, &sensitive, &res.published, R, SEED).mean_kl
+}
+
+#[test]
+fn bandwidth_bounds_per_strategy_on_bms1() {
+    if OrderingStrategy::from_env().is_some() {
+        eprintln!("CAHD_ORDERING set: skipping cross-strategy bandwidth comparison");
+        return;
+    }
+    let rcm = prepared(OrderingStrategy::Rcm);
+    let bfs = prepared(OrderingStrategy::Bfs);
+    let cluster = prepared(OrderingStrategy::Cluster);
+    let width = |p: &PreparedDataset| p.band.after.max_diag_distance;
+    // Every strategy must actually reduce the band versus the raw input
+    // order (the whole point of the phase) ...
+    for (name, p) in [("rcm", &rcm), ("bfs", &bfs), ("cluster", &cluster)] {
+        assert!(
+            width(p) < p.band.before.max_diag_distance,
+            "{name}: bandwidth {} not below input {}",
+            width(p),
+            p.band.before.max_diag_distance
+        );
+    }
+    // ... and the cheaper strategies may not lose more than 25% of the
+    // band quality RCM achieves on this fixture.
+    let budget = (width(&rcm) as f64 * 1.25) as usize;
+    assert!(
+        width(&bfs) <= budget,
+        "bfs bandwidth {} exceeds 1.25x rcm ({})",
+        width(&bfs),
+        width(&rcm)
+    );
+    assert!(
+        width(&cluster) <= budget,
+        "cluster bandwidth {} exceeds 1.25x rcm ({})",
+        width(&cluster),
+        width(&rcm)
+    );
+}
+
+#[test]
+fn end_to_end_kl_regression_is_bounded() {
+    if OrderingStrategy::from_env().is_some() {
+        eprintln!("CAHD_ORDERING set: skipping cross-strategy KL comparison");
+        return;
+    }
+    let kl_rcm = mean_kl(&prepared(OrderingStrategy::Rcm));
+    let kl_bfs = mean_kl(&prepared(OrderingStrategy::Bfs));
+    let kl_cluster = mean_kl(&prepared(OrderingStrategy::Cluster));
+    eprintln!("mean KL: rcm={kl_rcm:.4} bfs={kl_bfs:.4} cluster={kl_cluster:.4}");
+    // The absolute floor keeps the bound meaningful when the baseline KL
+    // is near zero (tiny quick-scale fixtures).
+    let budget = (kl_rcm * 1.5).max(kl_rcm + 0.05);
+    assert!(
+        kl_bfs <= budget,
+        "bfs KL {kl_bfs:.4} exceeds budget {budget:.4} (rcm {kl_rcm:.4})"
+    );
+    assert!(
+        kl_cluster <= budget,
+        "cluster KL {kl_cluster:.4} exceeds budget {budget:.4} (rcm {kl_rcm:.4})"
+    );
+}
+
+/// Pipeline smoke for the strategy the environment selects (or the
+/// default): prepare + anonymize + evaluate must succeed and produce a
+/// finite KL. This is the leg the `CAHD_ORDERING` CI matrix exercises.
+#[test]
+fn env_selected_strategy_runs_end_to_end() {
+    let strategy = OrderingStrategy::from_env().unwrap_or_default();
+    let kl = mean_kl(&prepared(strategy));
+    assert!(
+        kl.is_finite() && kl >= 0.0,
+        "{}: mean KL {kl} not a finite non-negative value",
+        strategy.name()
+    );
+}

@@ -390,6 +390,31 @@ mod tests {
             "{}",
             report.render_human()
         );
+
+        // Tamper with the ordering frontier split: parallel + sequential
+        // frontier counts must equal the recorded frontier expansions.
+        let mut bad = trace.clone();
+        bad.counters
+            .iter_mut()
+            .find(|c| c.name == "rcm.frontier_sequential")
+            .expect("traced run recorded ordering frontiers")
+            .value += 1;
+        let report = Registry::new().register(TraceObs).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &res.published,
+            p: 2,
+            trace: Some(&bad),
+        });
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("ordering frontier accounting")),
+            "{}",
+            report.render_human()
+        );
     }
 
     #[test]

@@ -415,7 +415,12 @@ impl Pass for BandQuality {
 ///   were formed; deterministic histogram *counts* match their driving
 ///   counters (`core.candidate_list_len` ↔ `core.pivots_scanned`,
 ///   `core.shard_scan_ns` ↔ the `core.shards` gauge, `eval.query_ns` ↔
-///   `eval.queries`).
+///   `eval.queries`); the ordering engine's frontier split is exact
+///   (`rcm.frontier_parallel + rcm.frontier_sequential == rcm.levels`,
+///   and the total frontier count covers at least the Cuthill-McKee
+///   BFS levels: `rcm.levels >= rcm.bfs_levels`). The frontier split is
+///   decided by *eligibility* (frontier width), never by the actual
+///   thread count, so these identities hold for any `--threads`.
 ///
 /// A missing counter reads as zero (the recorder drops zero adds), so a
 /// trace from an untraced or partial run stays quiet. When
@@ -522,6 +527,30 @@ impl Pass for TraceObs {
                     ),
                 );
             }
+        }
+        let frontier_parallel = counter("rcm.frontier_parallel");
+        let frontier_sequential = counter("rcm.frontier_sequential");
+        let levels = counter("rcm.levels");
+        if frontier_parallel + frontier_sequential != levels {
+            Self::balance(
+                out,
+                format!(
+                    "ordering frontier accounting broken: {frontier_parallel} parallel + \
+                     {frontier_sequential} sequential frontiers = {}, but {levels} frontier \
+                     expansions were recorded",
+                    frontier_parallel + frontier_sequential
+                ),
+            );
+        }
+        let bfs_levels = counter("rcm.bfs_levels");
+        if levels > 0 && levels < bfs_levels {
+            Self::balance(
+                out,
+                format!(
+                    "ordering frontier accounting broken: {levels} total frontier expansions \
+                     cannot cover {bfs_levels} Cuthill-McKee BFS levels"
+                ),
+            );
         }
         let queries = counter("eval.queries");
         let timed = hist_count("eval.query_ns");

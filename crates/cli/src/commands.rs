@@ -22,6 +22,7 @@ use cahd_eval::{
     reidentification_probability,
 };
 use cahd_obs::{Recorder, TraceReport};
+use cahd_rcm::OrderingStrategy;
 
 use crate::args::{Args, FlagSpec};
 use crate::CliError;
@@ -237,6 +238,10 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         takes_value: true,
     },
     FlagSpec {
+        name: "ordering",
+        takes_value: true,
+    },
+    FlagSpec {
         name: "bad-input",
         takes_value: true,
     },
@@ -271,6 +276,20 @@ fn kernel_from_args(args: &Args) -> Result<KernelMode, CliError> {
         Some(v) => KernelMode::parse(v).ok_or_else(|| {
             CliError::Usage(format!(
                 "unknown kernel mode {v:?}; expected adaptive, sparse or dense"
+            ))
+        }),
+    }
+}
+
+/// Parses `--ordering {rcm|bfs|cluster}` (default: rcm). The
+/// `CAHD_ORDERING` environment variable still overrides the resolved
+/// strategy inside the engine, mirroring `--kernel`/`CAHD_KERNEL`.
+fn ordering_from_args(args: &Args) -> Result<OrderingStrategy, CliError> {
+    match args.value("ordering") {
+        None => Ok(OrderingStrategy::Rcm),
+        Some(v) => OrderingStrategy::parse(v).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown ordering strategy {v:?}; expected rcm, bfs or cluster"
             ))
         }),
     }
@@ -333,7 +352,8 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
     let mut trace: Option<TraceReport> = None;
     let mut published: PublishedDataset = match method {
         "cahd" => {
-            let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+            let mut cfg =
+                AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
             cfg.cahd = CahdConfig::new(p)
                 .with_alpha(args.parse_or("alpha", 3usize)?)
                 .with_kernel(kernel_from_args(args)?);
@@ -434,7 +454,7 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
 /// Builds the cahd engine configuration shared by the plain, robust and
 /// streaming anonymize paths.
 fn anonymizer_config_from_args(args: &Args, p: usize) -> Result<AnonymizerConfig, CliError> {
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
     cfg.cahd = CahdConfig::new(p)
         .with_alpha(args.parse_or("alpha", 3usize)?)
         .with_kernel(kernel_from_args(args)?);
@@ -943,6 +963,10 @@ pub const PROFILE_FLAGS: &[FlagSpec] = &[
         name: "kernel",
         takes_value: true,
     },
+    FlagSpec {
+        name: "ordering",
+        takes_value: true,
+    },
 ];
 
 /// `profile <data.dat> --p P ...`: run the traced pipeline plus a traced
@@ -961,7 +985,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.parse_or("seed", 42)?;
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p);
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
     cfg.cahd = CahdConfig::new(p)
         .with_alpha(args.parse_or("alpha", 3usize)?)
         .with_kernel(kernel_from_args(args)?);
@@ -1137,6 +1161,52 @@ mod tests {
         assert!(e.contains("mean KL"));
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn ordering_flag_selects_strategy_and_rejects_unknown() {
+        let data_f = tmp("ordering.dat");
+        generate(&parse(
+            GENERATE_FLAGS,
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "50",
+                "--seed",
+                "7",
+            ],
+        ))
+        .unwrap();
+        for strategy in ["rcm", "bfs", "cluster"] {
+            let out = anonymize(&parse(
+                ANONYMIZE_FLAGS,
+                &[
+                    &data_f,
+                    "--p",
+                    "4",
+                    "--random-m",
+                    "4",
+                    "--ordering",
+                    strategy,
+                ],
+            ))
+            .unwrap();
+            assert!(out.contains("verified"), "--ordering {strategy}: {out}");
+        }
+        let err = anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "4", "--random-m", "4", "--ordering", "zig"],
+        ))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown ordering strategy"),
+            "{err}"
+        );
+        std::fs::remove_file(&data_f).ok();
     }
 
     #[test]

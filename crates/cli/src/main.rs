@@ -18,6 +18,7 @@ usage:
   cahd-cli anonymize <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
                      [--kernel adaptive|sparse|dense]  (similarity kernel)
+                     [--ordering rcm|bfs|cluster]  (band-reducing ordering)
                      [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
                      [--bad-input strict|quarantine] [--items D]  (robust
@@ -38,7 +39,7 @@ usage:
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
   cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
-                     [--kernel adaptive|sparse|dense]
+                     [--kernel adaptive|sparse|dense] [--ordering rcm|bfs|cluster]
                      [--r R] [--queries N] [--seed N] [--trace-json trace.json]
                      (traced pipeline + workload; see docs/OBSERVABILITY.md)
 ";

@@ -54,6 +54,15 @@ impl AnonymizerConfig {
         self.rcm.threads = parallel.threads.max(1);
         self
     }
+
+    /// Selects the band-reducing ordering strategy of the RCM phase
+    /// (`rcm`, `bfs` or `cluster`; see [`cahd_rcm::OrderingStrategy`]).
+    /// The `CAHD_ORDERING` environment variable still overrides this at
+    /// run time.
+    pub fn with_ordering(mut self, ordering: cahd_rcm::OrderingStrategy) -> Self {
+        self.rcm.ordering = ordering;
+        self
+    }
 }
 
 /// Output of [`Anonymizer::anonymize`].

@@ -65,6 +65,21 @@ impl LevelStructure {
         Self::build(g, root, &mut mark, 1)
     }
 
+    /// Assembles a level structure from pre-computed parts (the parallel
+    /// frontier engine builds `verts`/`offsets` itself). `offsets` must
+    /// follow the [`LevelStructure::build`] convention: `offsets[k]` is
+    /// the start of level `k` in `verts`, with a final entry equal to
+    /// `verts.len()`.
+    pub(crate) fn from_raw(root: u32, verts: Vec<u32>, offsets: Vec<usize>) -> Self {
+        debug_assert!(offsets.len() >= 2);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), verts.len());
+        LevelStructure {
+            root,
+            verts,
+            offsets,
+        }
+    }
+
     /// The root vertex.
     pub fn root(&self) -> u32 {
         self.root

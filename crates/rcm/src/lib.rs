@@ -16,7 +16,13 @@
 //!   lexicographic) implementing the paper's dimensionality-reduction
 //!   future-work direction, comparable against RCM,
 //! * [`gps`] — the Gibbs–Poole–Stockmeyer algorithm (the other classic
-//!   bandwidth reducer the paper cites), as an ablatable alternative.
+//!   bandwidth reducer the paper cites), as an ablatable alternative,
+//! * [`parallel`] — the frontier-parallel ordering engine: level-set
+//!   Cuthill-McKee and BFS with deterministic claim-by-minimum-parent
+//!   reassembly, byte-identical to the sequential reference at every
+//!   thread count,
+//! * [`strategy`] — the [`OrderingStrategy`] run-time selector
+//!   (`--ordering {rcm,bfs,cluster}` / `CAHD_ORDERING`).
 //!
 //! All algorithms work against the [`cahd_sparse::NeighborOracle`] trait, so
 //! they run identically on materialized adjacency and on the inverted-index
@@ -26,19 +32,28 @@ pub mod cm;
 pub mod gps;
 pub mod level;
 pub mod ordering;
+pub mod parallel;
 pub mod peripheral;
 pub mod rcm;
+pub mod strategy;
 pub mod unsym;
 
 pub use cm::{cuthill_mckee_component, cuthill_mckee_component_linear};
 pub use gps::gibbs_poole_stockmeyer;
 pub use level::LevelStructure;
-pub use ordering::{lexicographic_order, minhash_order, RowOrder};
+pub use ordering::{
+    cluster_order, lexicographic_order, minhash_order, RowOrder, CLUSTER_HASHES, CLUSTER_SEED,
+};
+pub use parallel::{
+    band_order, band_order_seq, band_order_seq_traced, band_order_seq_with, band_order_traced,
+    band_order_with, PARALLEL_FRONTIER_MIN, PARALLEL_THREADS_MIN,
+};
 pub use peripheral::pseudo_peripheral;
 pub use rcm::{
     cuthill_mckee, cuthill_mckee_traced, reverse_cuthill_mckee, reverse_cuthill_mckee_linear,
     reverse_cuthill_mckee_traced,
 };
+pub use strategy::OrderingStrategy;
 pub use unsym::{
     reduce_unsymmetric, reduce_unsymmetric_traced, AatMethod, BandReduction, ColumnOrder,
     UnsymOptions,

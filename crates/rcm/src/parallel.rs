@@ -1,0 +1,903 @@
+//! Frontier-parallel band-reducing ordering.
+//!
+//! The classic Cuthill-McKee loop looks inherently serial — a BFS queue
+//! where each dequeued vertex appends its unvisited neighbors sorted by
+//! `(degree, id)`. It is not: the queue decomposes into BFS *levels*, and
+//! within one level the ordering rule is exactly
+//!
+//! > level `k+1` = for each parent of level `k` **in order**: the fresh
+//! > neighbors *claimed* by that parent (a vertex is claimed by its
+//! > first-in-order parent), sorted by `(degree, id)` within the parent.
+//!
+//! Every quantity in that rule — claim ownership, degrees, ids — is a pure
+//! function of the graph and the previous level, so a level can be
+//! expanded by any number of workers and reassembled deterministically:
+//!
+//! 1. **Bid** (parallel): each worker owns a contiguous chunk of parents;
+//!    for each parent position `p` and unvisited neighbor `w` it performs
+//!    `owner[w].fetch_min(p)`. After a barrier, `owner[w]` is the claiming
+//!    parent of `w` — the same parent the sequential loop would claim.
+//! 2. **Claim** (parallel): each worker replays the `(p, w)` bids it
+//!    recorded (already in parent order — the graph is traversed exactly
+//!    once, in the bid phase), keeps the ones it owns (`owner[w] == p`),
+//!    marks them visited, resets `owner[w]` for the next level, and sorts
+//!    them `(degree, id)` within each parent.
+//! 3. **Concatenate** (sequential): worker outputs are appended in worker
+//!    index order, which is parent order.
+//!
+//! The result is **byte-identical to the sequential reference at every
+//! thread count** — proven by the `ordering_equivalence` proptest suite.
+//! The same engine builds the George–Liu level structures of the
+//! pseudo-peripheral search (step 2's per-parent sort is skipped there;
+//! discovery order is preserved instead), so the whole ordering phase
+//! parallelizes, not just the final CM pass.
+//!
+//! # Counter determinism
+//!
+//! The engine emits `rcm.levels` (total frontier expansions over every
+//! BFS it runs) split into `rcm.frontier_parallel` +
+//! `rcm.frontier_sequential` by *eligibility* — whether the frontier
+//! reached [`PARALLEL_FRONTIER_MIN`] — never by the actual thread count.
+//! A run with `threads = 1` therefore reports the same counters as a run
+//! with `threads = 8`, keeping the trace-invariance property suite and
+//! the `CAHD-O001` identities (`frontier_parallel + frontier_sequential
+//! == levels`, `levels >= bfs_levels`) valid for any machine.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Barrier;
+
+use cahd_obs::Recorder;
+use cahd_sparse::{NeighborOracle, Permutation};
+
+use crate::level::LevelStructure;
+use crate::peripheral::george_liu_iterate;
+use crate::strategy::OrderingStrategy;
+
+/// Frontier width at and above which an expansion is *eligible* for the
+/// parallel path (and counted as `rcm.frontier_parallel`). Below it the
+/// per-level spawn/barrier overhead outweighs the work; 256 parents keep
+/// even degree-1 chains worth splitting eight ways.
+pub const PARALLEL_FRONTIER_MIN: usize = 256;
+
+/// Thread count below which [`band_order_traced`] keeps even eligible
+/// frontiers on the sequential path: the bid/claim protocol's overhead
+/// (bid records, two barriers, per-level spawns) roughly costs one extra
+/// frontier traversal, so splitting it fewer than four ways is a net
+/// loss. Output is byte-identical on both paths, and counters classify
+/// by frontier width, so the cutoff is invisible outside wall time.
+pub const PARALLEL_THREADS_MIN: usize = 4;
+
+/// Ordering-phase counters accumulated by the frontier engine. All fields
+/// are pure functions of the graph and the strategy — never of thread
+/// scheduling — so they are reproducible across machines and layouts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct FrontierStats {
+    /// Connected components ordered.
+    components: u64,
+    /// Total levels of the final pseudo-peripheral level structures,
+    /// summed over components (the paper's rooted-level-structure depth).
+    bfs_levels: u64,
+    /// Total frontier expansions over every BFS performed (pseudo-
+    /// peripheral probes and the CM pass).
+    levels: u64,
+    /// Expansions whose frontier reached [`PARALLEL_FRONTIER_MIN`].
+    parallel: u64,
+    /// Expansions below the eligibility threshold.
+    sequential: u64,
+}
+
+impl FrontierStats {
+    /// Records one frontier expansion of `frontier` parents under the
+    /// eligibility threshold `frontier_min`.
+    fn record(&mut self, frontier: usize, frontier_min: usize) {
+        self.levels += 1;
+        if frontier >= frontier_min {
+            self.parallel += 1;
+        } else {
+            self.sequential += 1;
+        }
+    }
+
+    /// Flushes the ordering counters into `rec` (zero counters are
+    /// dropped by the recorder).
+    fn flush_to(&self, rec: &Recorder) {
+        rec.add("rcm.components", self.components);
+        rec.add("rcm.bfs_levels", self.bfs_levels);
+        rec.add("rcm.levels", self.levels);
+        rec.add("rcm.frontier_parallel", self.parallel);
+        rec.add("rcm.frontier_sequential", self.sequential);
+    }
+}
+
+/// What the per-level claim step does with each parent's claimed batch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Within {
+    /// Keep neighbor enumeration order (level-structure builds).
+    Discovery,
+    /// Sort by `(degree, id)` (the Cuthill-McKee rule).
+    DegreeThenId,
+}
+
+/// Which traversal the driver runs after the pseudo-peripheral search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BandKind {
+    /// Full Cuthill-McKee pass from the pseudo-peripheral root.
+    Cm,
+    /// Reuse the root's level structure directly as the ordering.
+    Bfs,
+}
+
+impl BandKind {
+    /// Maps the public strategy onto a graph-level traversal. `Cluster`
+    /// is a matrix-level strategy dispatched before any graph exists (see
+    /// [`crate::unsym`]); if a cluster request reaches the graph engine
+    /// anyway it degrades to the nearest graph-level strategy.
+    fn of(strategy: OrderingStrategy) -> BandKind {
+        match strategy {
+            OrderingStrategy::Rcm => BandKind::Cm,
+            OrderingStrategy::Bfs | OrderingStrategy::Cluster => BandKind::Bfs,
+        }
+    }
+}
+
+/// Expands one frontier with plain (single-threaded) visited marks:
+/// claim-by-first-parent in parent order, which is exactly the claim-by-
+/// minimum-parent rule the parallel path computes.
+#[allow(clippy::too_many_arguments)]
+fn expand_plain<G: NeighborOracle>(
+    g: &G,
+    parents: &[u32],
+    mark: &mut [u32],
+    stamp: u32,
+    within: Within,
+    nbrs: &mut Vec<u32>,
+    fresh: &mut Vec<(u32, u32)>,
+    out: &mut Vec<u32>,
+) {
+    for &v in parents {
+        nbrs.clear();
+        g.neighbors_into(v as usize, nbrs);
+        match within {
+            Within::Discovery => {
+                for &w in nbrs.iter() {
+                    if mark[w as usize] != stamp {
+                        mark[w as usize] = stamp;
+                        out.push(w);
+                    }
+                }
+            }
+            Within::DegreeThenId => {
+                fresh.clear();
+                for &w in nbrs.iter() {
+                    if mark[w as usize] != stamp {
+                        mark[w as usize] = stamp;
+                        fresh.push((g.degree(w as usize) as u32, w));
+                    }
+                }
+                fresh.sort_unstable();
+                out.extend(fresh.iter().map(|&(_, w)| w));
+            }
+        }
+    }
+}
+
+/// [`expand_plain`] over atomic marks, still single-threaded — the
+/// below-threshold path of the parallel driver. Relaxed loads/stores on
+/// one thread compile to plain memory operations.
+#[allow(clippy::too_many_arguments)]
+fn expand_atomic_seq<G: NeighborOracle>(
+    g: &G,
+    parents: &[u32],
+    mark: &[AtomicU32],
+    stamp: u32,
+    within: Within,
+    nbrs: &mut Vec<u32>,
+    fresh: &mut Vec<(u32, u32)>,
+    out: &mut Vec<u32>,
+) {
+    for &v in parents {
+        nbrs.clear();
+        g.neighbors_into(v as usize, nbrs);
+        match within {
+            Within::Discovery => {
+                for &w in nbrs.iter() {
+                    if mark[w as usize].load(Ordering::Relaxed) != stamp {
+                        mark[w as usize].store(stamp, Ordering::Relaxed);
+                        out.push(w);
+                    }
+                }
+            }
+            Within::DegreeThenId => {
+                fresh.clear();
+                for &w in nbrs.iter() {
+                    if mark[w as usize].load(Ordering::Relaxed) != stamp {
+                        mark[w as usize].store(stamp, Ordering::Relaxed);
+                        fresh.push((g.degree(w as usize) as u32, w));
+                    }
+                }
+                fresh.sort_unstable();
+                out.extend(fresh.iter().map(|&(_, w)| w));
+            }
+        }
+    }
+}
+
+/// The parallel frontier expansion (module docs, steps 1–3).
+///
+/// `owner` must be `u32::MAX` everywhere on entry; the claim step restores
+/// that invariant — every bid-on vertex has exactly one claiming parent,
+/// and that parent's worker resets the slot. Other workers racing on the
+/// slot read either the final minimum (not their parent) or the reset
+/// `u32::MAX`; both mean "not mine", so the reset is safe under `Relaxed`
+/// ordering — the barrier separates all bids from all claims.
+#[allow(clippy::too_many_arguments)]
+fn expand_atomic_par<G: NeighborOracle + Sync>(
+    g: &G,
+    parents: &[u32],
+    mark: &[AtomicU32],
+    owner: &[AtomicU32],
+    stamp: u32,
+    within: Within,
+    threads: usize,
+    out: &mut Vec<u32>,
+) {
+    // Derive the worker count back from the chunk size: with a plain
+    // `threads.min(len)` the ceiling division can leave trailing workers
+    // with an empty (out-of-range) slice, and a worker that panics before
+    // the barrier strands every other worker at `barrier.wait()`.
+    let chunk = parents
+        .len()
+        .div_ceil(threads.min(parents.len()).max(1))
+        .max(1);
+    let n_workers = parents.len().div_ceil(chunk).max(1);
+    let barrier = Barrier::new(n_workers);
+    let claimed: Vec<Vec<u32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|wi| {
+                let barrier = &barrier;
+                let lo = wi * chunk;
+                let hi = (lo + chunk).min(parents.len());
+                scope.spawn(move || {
+                    let mut nbrs: Vec<u32> = Vec::new();
+                    // Bid: fetch_min resolves racing parents to the
+                    // minimum position — the sequential claimant. Each
+                    // bid is recorded as `(pos, w)` so the claim phase
+                    // replays the buffer instead of traversing the
+                    // neighbor lists a second time; the buffer is in
+                    // parent order by construction.
+                    let mut bids: Vec<(u32, u32)> = Vec::new();
+                    for (off, &v) in parents[lo..hi].iter().enumerate() {
+                        let pos = (lo + off) as u32;
+                        nbrs.clear();
+                        g.neighbors_into(v as usize, &mut nbrs);
+                        for &w in &nbrs {
+                            if mark[w as usize].load(Ordering::Relaxed) != stamp {
+                                owner[w as usize].fetch_min(pos, Ordering::Relaxed);
+                                bids.push((pos, w));
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    // Claim: keep owned bids, grouped per parent. A
+                    // vertex bid on by several of this worker's parents
+                    // appears once per parent; only the entry whose
+                    // `pos` survived every fetch_min claims it, and the
+                    // owner reset makes the later duplicates read MAX.
+                    let mut mine: Vec<u32> = Vec::new();
+                    let mut fresh: Vec<(u32, u32)> = Vec::new();
+                    let mut i = 0;
+                    while i < bids.len() {
+                        let pos = bids[i].0;
+                        fresh.clear();
+                        while i < bids.len() && bids[i].0 == pos {
+                            let w = bids[i].1;
+                            i += 1;
+                            if owner[w as usize].load(Ordering::Relaxed) == pos {
+                                owner[w as usize].store(u32::MAX, Ordering::Relaxed);
+                                mark[w as usize].store(stamp, Ordering::Relaxed);
+                                match within {
+                                    Within::Discovery => mine.push(w),
+                                    Within::DegreeThenId => {
+                                        fresh.push((g.degree(w as usize) as u32, w));
+                                    }
+                                }
+                            }
+                        }
+                        if within == Within::DegreeThenId {
+                            fresh.sort_unstable();
+                            mine.extend(fresh.iter().map(|&(_, w)| w));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    // cahd-lint: allow(L003, reason = "worker panics only propagate caller bugs; the closure itself performs no fallible operations")
+                    .expect("frontier worker panicked")
+            })
+            .collect()
+    });
+    for c in claimed {
+        out.extend_from_slice(&c);
+    }
+}
+
+/// Builds the level structure rooted at `root` with the atomic frontier
+/// engine, switching per level between the parallel and sequential paths
+/// by eligibility. Identical output to [`LevelStructure::build`].
+#[allow(clippy::too_many_arguments)]
+fn build_levels_atomic<G: NeighborOracle + Sync>(
+    g: &G,
+    root: u32,
+    mark: &[AtomicU32],
+    owner: &[AtomicU32],
+    stamp: u32,
+    threads: usize,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+) -> LevelStructure {
+    mark[root as usize].store(stamp, Ordering::Relaxed);
+    let mut verts: Vec<u32> = vec![root];
+    let mut offsets: Vec<usize> = vec![0];
+    let mut current: Vec<u32> = vec![root];
+    let mut next: Vec<u32> = Vec::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+    let mut fresh: Vec<(u32, u32)> = Vec::new();
+    loop {
+        offsets.push(verts.len());
+        stats.record(current.len(), frontier_min);
+        next.clear();
+        if current.len() >= frontier_min && threads > 1 {
+            expand_atomic_par(
+                g,
+                &current,
+                mark,
+                owner,
+                stamp,
+                Within::Discovery,
+                threads,
+                &mut next,
+            );
+        } else {
+            expand_atomic_seq(
+                g,
+                &current,
+                mark,
+                stamp,
+                Within::Discovery,
+                &mut nbrs,
+                &mut fresh,
+                &mut next,
+            );
+        }
+        if next.is_empty() {
+            break;
+        }
+        verts.extend_from_slice(&next);
+        std::mem::swap(&mut current, &mut next);
+    }
+    LevelStructure::from_raw(root, verts, offsets)
+}
+
+/// Sequential twin of [`build_levels_atomic`] for oracles that are not
+/// `Sync` (the implicit row graph). Counts expansions identically.
+fn build_levels_plain<G: NeighborOracle>(
+    g: &G,
+    root: u32,
+    mark: &mut [u32],
+    stamp: u32,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+) -> LevelStructure {
+    mark[root as usize] = stamp;
+    let mut verts: Vec<u32> = vec![root];
+    let mut offsets: Vec<usize> = vec![0];
+    let mut current: Vec<u32> = vec![root];
+    let mut next: Vec<u32> = Vec::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+    let mut fresh: Vec<(u32, u32)> = Vec::new();
+    loop {
+        offsets.push(verts.len());
+        stats.record(current.len(), frontier_min);
+        next.clear();
+        expand_plain(
+            g,
+            &current,
+            mark,
+            stamp,
+            Within::Discovery,
+            &mut nbrs,
+            &mut fresh,
+            &mut next,
+        );
+        if next.is_empty() {
+            break;
+        }
+        verts.extend_from_slice(&next);
+        std::mem::swap(&mut current, &mut next);
+    }
+    LevelStructure::from_raw(root, verts, offsets)
+}
+
+/// Appends the Cuthill-McKee ordering of `root`'s component to `order`
+/// using the atomic frontier engine. Identical output to
+/// [`crate::cm::cuthill_mckee_component`].
+#[allow(clippy::too_many_arguments)]
+fn cm_component_atomic<G: NeighborOracle + Sync>(
+    g: &G,
+    root: u32,
+    mark: &[AtomicU32],
+    owner: &[AtomicU32],
+    stamp: u32,
+    threads: usize,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+    order: &mut Vec<u32>,
+) {
+    mark[root as usize].store(stamp, Ordering::Relaxed);
+    let mut current: Vec<u32> = vec![root];
+    let mut next: Vec<u32> = Vec::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+    let mut fresh: Vec<(u32, u32)> = Vec::new();
+    loop {
+        stats.record(current.len(), frontier_min);
+        next.clear();
+        if current.len() >= frontier_min && threads > 1 {
+            expand_atomic_par(
+                g,
+                &current,
+                mark,
+                owner,
+                stamp,
+                Within::DegreeThenId,
+                threads,
+                &mut next,
+            );
+        } else {
+            expand_atomic_seq(
+                g,
+                &current,
+                mark,
+                stamp,
+                Within::DegreeThenId,
+                &mut nbrs,
+                &mut fresh,
+                &mut next,
+            );
+        }
+        order.extend_from_slice(&current);
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+}
+
+/// Sequential twin of [`cm_component_atomic`] for non-`Sync` oracles.
+fn cm_component_plain<G: NeighborOracle>(
+    g: &G,
+    root: u32,
+    mark: &mut [u32],
+    stamp: u32,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+    order: &mut Vec<u32>,
+) {
+    mark[root as usize] = stamp;
+    let mut current: Vec<u32> = vec![root];
+    let mut next: Vec<u32> = Vec::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+    let mut fresh: Vec<(u32, u32)> = Vec::new();
+    loop {
+        stats.record(current.len(), frontier_min);
+        next.clear();
+        expand_plain(
+            g,
+            &current,
+            mark,
+            stamp,
+            Within::DegreeThenId,
+            &mut nbrs,
+            &mut fresh,
+            &mut next,
+        );
+        order.extend_from_slice(&current);
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+}
+
+/// The atomic (thread-capable) full-graph driver: per component, a
+/// George–Liu pseudo-peripheral search followed by the strategy's
+/// traversal. Components are processed in order of their smallest vertex
+/// id, exactly like [`crate::rcm::cuthill_mckee_traced`].
+fn order_vertices_atomic<G: NeighborOracle + Sync>(
+    g: &G,
+    kind: BandKind,
+    threads: usize,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mark: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let owner: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut stamp = 0u32;
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+    for start in 0..n {
+        if in_order[start] {
+            continue;
+        }
+        let (root, levels) = {
+            let stamp = &mut stamp;
+            let stats = &mut *stats;
+            let (mark, owner) = (&mark, &owner);
+            george_liu_iterate(
+                |w| g.degree(w as usize),
+                move |r| {
+                    *stamp += 1;
+                    build_levels_atomic(g, r, mark, owner, *stamp, threads, frontier_min, stats)
+                },
+                start as u32,
+            )
+        };
+        stats.components += 1;
+        stats.bfs_levels += levels.n_levels() as u64;
+        match kind {
+            BandKind::Cm => {
+                stamp += 1;
+                let before = order.len();
+                cm_component_atomic(
+                    g,
+                    root,
+                    &mark,
+                    &owner,
+                    stamp,
+                    threads,
+                    frontier_min,
+                    stats,
+                    &mut order,
+                );
+                for &v in &order[before..] {
+                    in_order[v as usize] = true;
+                }
+            }
+            BandKind::Bfs => {
+                for &v in levels.vertices() {
+                    in_order[v as usize] = true;
+                }
+                order.extend_from_slice(levels.vertices());
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Sequential twin of [`order_vertices_atomic`] for non-`Sync` oracles.
+/// Emits the same counters for the same graph and strategy.
+fn order_vertices_plain<G: NeighborOracle>(
+    g: &G,
+    kind: BandKind,
+    frontier_min: usize,
+    stats: &mut FrontierStats,
+) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mut mark = vec![0u32; n];
+    let mut stamp = 0u32;
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut in_order = vec![false; n];
+    for start in 0..n {
+        if in_order[start] {
+            continue;
+        }
+        let (root, levels) = {
+            let stamp = &mut stamp;
+            let mark = &mut mark;
+            let stats = &mut *stats;
+            george_liu_iterate(
+                |w| g.degree(w as usize),
+                move |r| {
+                    *stamp += 1;
+                    build_levels_plain(g, r, mark, *stamp, frontier_min, stats)
+                },
+                start as u32,
+            )
+        };
+        stats.components += 1;
+        stats.bfs_levels += levels.n_levels() as u64;
+        match kind {
+            BandKind::Cm => {
+                stamp += 1;
+                let before = order.len();
+                cm_component_plain(g, root, &mut mark, stamp, frontier_min, stats, &mut order);
+                for &v in &order[before..] {
+                    in_order[v as usize] = true;
+                }
+            }
+            BandKind::Bfs => {
+                for &v in levels.vertices() {
+                    in_order[v as usize] = true;
+                }
+                order.extend_from_slice(levels.vertices());
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Finalizes an ordering into the reversed band permutation (the paper's
+/// Fig. 4 step 14: "output R in reverse order").
+fn reversed_permutation(order: Vec<u32>) -> Permutation {
+    // cahd-lint: allow(L003, reason = "the component sweep pushes each vertex exactly once (debug_assert_eq in the drivers)")
+    let p = Permutation::from_new_to_old(order).expect("band order visits every vertex");
+    p.reversed()
+}
+
+/// Computes the reversed band ordering of `g` under `strategy` with up to
+/// `threads` frontier workers.
+///
+/// Under [`OrderingStrategy::Rcm`] the result is byte-identical to
+/// [`crate::reverse_cuthill_mckee`] at every thread count (the
+/// `ordering_equivalence` suite proves this); the other strategies are
+/// deterministic but cheaper orders with looser band quality.
+pub fn band_order(
+    g: &(impl NeighborOracle + Sync),
+    strategy: OrderingStrategy,
+    threads: usize,
+) -> Permutation {
+    band_order_traced(g, strategy, threads, &Recorder::disabled())
+}
+
+/// [`band_order`] recording the ordering counters (`rcm.components`,
+/// `rcm.bfs_levels`, `rcm.levels`, `rcm.frontier_parallel`,
+/// `rcm.frontier_sequential`) into `rec`. The counters are functions of
+/// the graph and strategy only — identical at every thread count.
+///
+/// Below [`PARALLEL_THREADS_MIN`] threads the expansion runs sequentially
+/// even on eligible frontiers: with so few workers the bid/claim protocol
+/// costs more than it splits (the bid records plus two barriers roughly
+/// match one extra traversal), and the output is byte-identical either
+/// way. The counters still classify by frontier *width*, so traces do not
+/// depend on where this cutoff lands.
+pub fn band_order_traced(
+    g: &(impl NeighborOracle + Sync),
+    strategy: OrderingStrategy,
+    threads: usize,
+    rec: &Recorder,
+) -> Permutation {
+    let workers = if threads >= PARALLEL_THREADS_MIN {
+        threads
+    } else {
+        1
+    };
+    band_order_with(g, strategy, workers, PARALLEL_FRONTIER_MIN, rec)
+}
+
+/// [`band_order_traced`] with an explicit parallel-eligibility threshold.
+///
+/// Production code always passes [`PARALLEL_FRONTIER_MIN`]; the override
+/// exists so the equivalence suite can force the parallel path on graphs
+/// far smaller than the production threshold. Counters are computed under
+/// the *given* threshold, preserving the `CAHD-O001` identities.
+pub fn band_order_with(
+    g: &(impl NeighborOracle + Sync),
+    strategy: OrderingStrategy,
+    threads: usize,
+    frontier_min: usize,
+    rec: &Recorder,
+) -> Permutation {
+    let mut stats = FrontierStats::default();
+    let order = order_vertices_atomic(
+        g,
+        BandKind::of(strategy),
+        threads.max(1),
+        frontier_min.max(1),
+        &mut stats,
+    );
+    stats.flush_to(rec);
+    reversed_permutation(order)
+}
+
+/// Sequential [`band_order`] for oracles that are not `Sync` (the
+/// implicit row graph, whose scratch space is interior-mutable). Emits
+/// the same counters as the threaded driver would for this graph.
+pub fn band_order_seq(g: &impl NeighborOracle, strategy: OrderingStrategy) -> Permutation {
+    band_order_seq_traced(g, strategy, &Recorder::disabled())
+}
+
+/// [`band_order_seq`] with counter recording; see [`band_order_traced`].
+pub fn band_order_seq_traced(
+    g: &impl NeighborOracle,
+    strategy: OrderingStrategy,
+    rec: &Recorder,
+) -> Permutation {
+    band_order_seq_with(g, strategy, PARALLEL_FRONTIER_MIN, rec)
+}
+
+/// [`band_order_seq_traced`] with an explicit eligibility threshold; the
+/// test hook mirroring [`band_order_with`].
+pub fn band_order_seq_with(
+    g: &impl NeighborOracle,
+    strategy: OrderingStrategy,
+    frontier_min: usize,
+    rec: &Recorder,
+) -> Permutation {
+    let mut stats = FrontierStats::default();
+    let order = order_vertices_plain(g, BandKind::of(strategy), frontier_min.max(1), &mut stats);
+    stats.flush_to(rec);
+    reversed_permutation(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rcm::reverse_cuthill_mckee;
+    use cahd_sparse::bandwidth::graph_band_stats;
+    use cahd_sparse::Graph;
+
+    fn graphs() -> Vec<(&'static str, Graph)> {
+        let mut grid_edges = Vec::new();
+        let idx = |r: usize, c: usize| (r * 6 + c) as u32;
+        for r in 0..6 {
+            for c in 0..6 {
+                if c + 1 < 6 {
+                    grid_edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 6 {
+                    grid_edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        vec![
+            (
+                "path",
+                Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]),
+            ),
+            (
+                "star",
+                Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]),
+            ),
+            // A frontier of 9 at 8 threads exercises ceiling-division
+            // chunking where a naive worker count leaves a trailing
+            // worker with an out-of-range slice (regression: deadlock).
+            (
+                "star9",
+                Graph::from_edges(10, &(1..10u32).map(|v| (0, v)).collect::<Vec<_>>()),
+            ),
+            (
+                "disconnected",
+                Graph::from_edges(8, &[(0, 1), (2, 3), (3, 4), (6, 7)]),
+            ),
+            ("isolated", Graph::from_edges(3, &[])),
+            ("empty", Graph::from_edges(0, &[])),
+            ("grid6", Graph::from_edges(36, &grid_edges)),
+        ]
+    }
+
+    #[test]
+    fn rcm_strategy_matches_reference_at_any_thread_count() {
+        for (name, g) in graphs() {
+            let reference = reverse_cuthill_mckee(&g);
+            for threads in [1usize, 2, 8] {
+                // frontier_min = 1 forces the parallel claim path onto
+                // every level of these small graphs.
+                let p =
+                    band_order_with(&g, OrderingStrategy::Rcm, threads, 1, &Recorder::disabled());
+                assert_eq!(
+                    reference.new_to_old_slice(),
+                    p.new_to_old_slice(),
+                    "{name} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_driver_matches_atomic_driver() {
+        for (name, g) in graphs() {
+            for strategy in OrderingStrategy::ALL {
+                let seq = band_order_seq(&g, strategy);
+                let par = band_order(&g, strategy, 4);
+                assert_eq!(
+                    seq.new_to_old_slice(),
+                    par.new_to_old_slice(),
+                    "{name} under {}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_emit_valid_permutations() {
+        for (name, g) in graphs() {
+            for strategy in OrderingStrategy::ALL {
+                let p = band_order(&g, strategy, 2);
+                assert_eq!(p.len(), g.n_vertices(), "{name}/{}", strategy.name());
+                assert!(
+                    p.then(&p.inverse()).is_identity(),
+                    "{name}/{}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counters_are_thread_count_invariant_and_consistent() {
+        for (name, g) in graphs() {
+            let mut reports = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let rec = Recorder::new();
+                band_order_with(&g, OrderingStrategy::Rcm, threads, 2, &rec);
+                let report = rec.snapshot();
+                let counter = |c: &str| report.counter(c).unwrap_or(0);
+                assert_eq!(
+                    counter("rcm.frontier_parallel") + counter("rcm.frontier_sequential"),
+                    counter("rcm.levels"),
+                    "{name} at {threads} threads"
+                );
+                assert!(
+                    counter("rcm.levels") >= counter("rcm.bfs_levels"),
+                    "{name} at {threads} threads"
+                );
+                reports.push((
+                    counter("rcm.components"),
+                    counter("rcm.bfs_levels"),
+                    counter("rcm.levels"),
+                    counter("rcm.frontier_parallel"),
+                    counter("rcm.frontier_sequential"),
+                ));
+            }
+            assert!(
+                reports.windows(2).all(|w| w[0] == w[1]),
+                "{name}: counters varied with thread count: {reports:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_strategy_bandwidth_is_reasonable_on_path() {
+        // A path ordered by pure BFS from a peripheral end is optimal.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+        );
+        let p = band_order(&g, OrderingStrategy::Bfs, 1);
+        assert_eq!(graph_band_stats(&g, &p).bandwidth, 1);
+    }
+
+    #[test]
+    fn golden_bandwidth_bounds_per_strategy() {
+        // 6x6 grid: optimal bandwidth 6. RCM must reach <= 7; BFS from a
+        // corner stays within the level-structure width bound (<= 11).
+        let (_, grid) = graphs()
+            .into_iter()
+            .find(|(n, _)| *n == "grid6")
+            .expect("grid6 fixture");
+        let rcm_bw =
+            graph_band_stats(&grid, &band_order(&grid, OrderingStrategy::Rcm, 2)).bandwidth;
+        assert!(rcm_bw <= 7, "rcm bandwidth {rcm_bw}");
+        let bfs_bw =
+            graph_band_stats(&grid, &band_order(&grid, OrderingStrategy::Bfs, 2)).bandwidth;
+        assert!(bfs_bw <= 11, "bfs bandwidth {bfs_bw}");
+        assert!(rcm_bw <= bfs_bw, "rcm {rcm_bw} worse than bfs {bfs_bw}");
+    }
+}

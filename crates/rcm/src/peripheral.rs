@@ -13,10 +13,68 @@
 //!
 //! The iteration is linear in the component size per round and terminates
 //! because eccentricity strictly increases.
+//!
+//! # Determinism: the restart/tie rule
+//!
+//! The returned root — and through it every downstream ordering — is a
+//! pure function of the *graph* (vertex count plus adjacency sets), never
+//! of input edge order, thread count, or adjacency *enumeration* order:
+//!
+//! * **Candidate rule (step 3).** Among the deepest level's vertices, the
+//!   next candidate `u` is the minimum under the `(degree, vertex-id)`
+//!   key. Degree and level membership are set-determined; the id breaks
+//!   ties totally, so `u` never depends on the order the level was
+//!   discovered in.
+//! * **Restart rule (step 4).** The iteration restarts from `u` only on a
+//!   *strict* eccentricity increase (`ecc(u) > ecc(v)`); on a tie it keeps
+//!   `v`. Combined with the candidate rule this makes the whole visit
+//!   sequence `v, u, ...` — and hence the final root — reproducible.
+//! * **Fixed point.** If the candidate `u` equals `v` itself, `v` is
+//!   returned immediately (an isolated vertex is its own candidate).
+//!
+//! Both the sequential and the frontier-parallel drivers (see
+//! [`crate::parallel`]) funnel through the single [`george_liu_iterate`]
+//! loop below, so the rule cannot drift between them.
 
 use cahd_sparse::NeighborOracle;
 
 use crate::level::LevelStructure;
+
+/// The shared George–Liu iteration, generic over how level structures are
+/// built: `degree(w)` must report the set-determined vertex degree and
+/// `build(root)` must return the BFS level structure rooted at `root`.
+///
+/// This is the *single* home of the pseudo-peripheral restart/tie rule
+/// (see the module docs); every driver — sequential, implicit-oracle, and
+/// frontier-parallel — delegates here so the chosen root is identical
+/// across representations and thread counts.
+pub(crate) fn george_liu_iterate(
+    degree: impl Fn(u32) -> usize,
+    mut build: impl FnMut(u32) -> LevelStructure,
+    start: u32,
+) -> (u32, LevelStructure) {
+    let mut v = start;
+    let mut lv = build(v);
+    loop {
+        // Minimum-(degree, id) vertex in the deepest level.
+        let u = *lv
+            .last_level()
+            .iter()
+            .min_by_key(|&&w| (degree(w), w))
+            // cahd-lint: allow(L003, reason = "a BFS level structure rooted at v always has a non-empty last level (it contains v at minimum)")
+            .expect("levels are non-empty");
+        if u == v {
+            return (v, lv);
+        }
+        let lu = build(u);
+        if lu.eccentricity() > lv.eccentricity() {
+            v = u;
+            lv = lu;
+        } else {
+            return (v, lv);
+        }
+    }
+}
 
 /// Finds a pseudo-peripheral vertex of the component containing `start`,
 /// returning it together with its level structure.
@@ -30,29 +88,14 @@ pub fn pseudo_peripheral_with_scratch(
     mark: &mut [u32],
     stamp_counter: &mut u32,
 ) -> (u32, LevelStructure) {
-    let mut v = start;
-    *stamp_counter += 1;
-    let mut lv = LevelStructure::build(g, v, mark, *stamp_counter);
-    loop {
-        // Minimum-degree vertex in the deepest level.
-        let u = *lv
-            .last_level()
-            .iter()
-            .min_by_key(|&&w| (g.degree(w as usize), w))
-            // cahd-lint: allow(L003, reason = "a BFS level structure rooted at v always has a non-empty last level (it contains v at minimum)")
-            .expect("levels are non-empty");
-        if u == v {
-            return (v, lv);
-        }
-        *stamp_counter += 1;
-        let lu = LevelStructure::build(g, u, mark, *stamp_counter);
-        if lu.eccentricity() > lv.eccentricity() {
-            v = u;
-            lv = lu;
-        } else {
-            return (v, lv);
-        }
-    }
+    george_liu_iterate(
+        |w| g.degree(w as usize),
+        |root| {
+            *stamp_counter += 1;
+            LevelStructure::build(g, root, mark, *stamp_counter)
+        },
+        start,
+    )
 }
 
 /// Convenience wrapper that allocates its own scratch space.
@@ -107,5 +150,42 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let (_, l) = pseudo_peripheral(&g, 2);
         assert!(l.eccentricity() >= 4);
+    }
+
+    #[test]
+    fn edge_order_does_not_change_root() {
+        // The same wheel-with-tail graph presented in four different edge
+        // orders: the chosen pseudo-peripheral root must be identical
+        // (the module-level restart/tie rule is set-determined).
+        let edges = [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ];
+        let mut variants: Vec<Vec<(u32, u32)>> = Vec::new();
+        variants.push(edges.to_vec());
+        let mut rev = edges.to_vec();
+        rev.reverse();
+        variants.push(rev);
+        let mut swapped: Vec<(u32, u32)> = edges.iter().map(|&(a, b)| (b, a)).collect();
+        variants.push(swapped.clone());
+        swapped.rotate_left(3);
+        variants.push(swapped);
+        let roots: Vec<u32> = variants
+            .iter()
+            .map(|es| {
+                let g = Graph::from_edges(7, es);
+                pseudo_peripheral(&g, 0).0
+            })
+            .collect();
+        assert!(
+            roots.windows(2).all(|w| w[0] == w[1]),
+            "roots varied with edge order: {roots:?}"
+        );
     }
 }

@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 use cahd_sparse::bandwidth::{rect_band_stats, RectBandStats};
 use cahd_sparse::{CsrMatrix, Permutation, RowGraph};
 
+use crate::ordering::cluster_order;
+use crate::parallel::{band_order_seq_traced, band_order_traced};
 use crate::rcm::reverse_cuthill_mckee;
+use crate::strategy::OrderingStrategy;
 
 /// How to order columns after the RCM row permutation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,10 +60,15 @@ pub struct UnsymOptions {
     pub column_order: ColumnOrder,
     /// Symmetrization method (paper Fig. 5 step 1).
     pub aat_method: AatMethod,
-    /// Worker threads for the explicit `A x A^T` build (RCM itself stays
-    /// sequential — the ordering is inherently a serial BFS). The graph is
-    /// identical for every thread count.
+    /// Worker threads for the explicit `A x A^T` build *and* the
+    /// frontier-parallel ordering (see [`crate::parallel`]). The graph
+    /// and — under [`OrderingStrategy::Rcm`] — the permutation are
+    /// byte-identical for every thread count.
     pub threads: usize,
+    /// Band-reducing ordering strategy ([`OrderingStrategy::Rcm`] by
+    /// default). Resolved against the `CAHD_ORDERING` environment
+    /// variable once per reduction.
+    pub ordering: OrderingStrategy,
 }
 
 impl Default for UnsymOptions {
@@ -70,6 +78,7 @@ impl Default for UnsymOptions {
             column_order: ColumnOrder::MeanRowPos,
             aat_method: AatMethod::Product,
             threads: 1,
+            ordering: OrderingStrategy::Rcm,
         }
     }
 }
@@ -118,7 +127,14 @@ pub fn reduce_unsymmetric_traced(
     let whole = rec.span("pipeline/rcm");
     // cahd-lint: allow(L002, reason = "elapsed-time stat only; release bytes never depend on it")
     let t0 = Instant::now();
+    let strategy = opts.ordering.resolved();
     let (row_perm, sum_col_perm, used_explicit_aat) = match opts.aat_method {
+        // Cluster-then-order works on the matrix itself: no `A x A^T`
+        // graph is built at all (`used_explicit_aat` is false).
+        AatMethod::Product if strategy == OrderingStrategy::Cluster => {
+            let _s = rec.span("pipeline/rcm/order");
+            (cluster_order(a, opts.threads), None, false)
+        }
         AatMethod::Product => {
             let rg = {
                 let _s = rec.span("pipeline/rcm/aat_build");
@@ -126,11 +142,14 @@ pub fn reduce_unsymmetric_traced(
             };
             let explicit = rg.is_explicit();
             let _s = rec.span("pipeline/rcm/order");
-            (
-                crate::rcm::reverse_cuthill_mckee_traced(&rg, rec),
-                None,
-                explicit,
-            )
+            let perm = match &rg {
+                // The materialized graph is `Sync`: frontier-parallel.
+                RowGraph::Explicit(g) => band_order_traced(g, strategy, opts.threads, rec),
+                // The implicit oracle carries interior-mutable scratch;
+                // the sequential driver emits identical counters.
+                RowGraph::Implicit(ig) => band_order_seq_traced(ig, strategy, rec),
+            };
+            (perm, None, explicit)
         }
         AatMethod::Sum => {
             let _s = rec.span("pipeline/rcm/order");

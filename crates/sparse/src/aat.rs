@@ -227,26 +227,52 @@ impl RowGraph {
     }
 
     /// Materializes the adjacency with `threads` workers, each owning a
-    /// contiguous row range (and its own marker array, so workers share
-    /// nothing mutable). The output is identical for every thread count:
-    /// each neighbor list depends only on its own row and the transpose.
+    /// contiguous row range (and its own scratch, so workers share nothing
+    /// mutable). The output is identical for every thread count: each
+    /// neighbor list depends only on its own row and the transpose.
+    ///
+    /// Each worker emits its chunk directly as flat CSR pieces with every
+    /// neighbor list already sorted — short rows by a k-way merge of the
+    /// (ascending) transpose lists, long rows by a stamped gather plus one
+    /// per-row sort — so assembly is a concatenation, not a re-sort of the
+    /// full edge set.
     pub fn build_explicit_threaded(a: &CsrMatrix, threads: usize) -> Graph {
         let n = a.n_rows();
         let cols = a.transpose();
         let threads = threads.max(1).min(n.max(1));
-        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
-        if threads <= 1 {
-            fill_neighbor_rows(a, &cols, 0, &mut rows);
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<ChunkAdjacency> = if threads <= 1 {
+            vec![fill_chunk(a, &cols, 0, n)]
         } else {
-            let chunk = n.div_ceil(threads);
             std::thread::scope(|scope| {
-                for (wi, slice) in rows.chunks_mut(chunk).enumerate() {
-                    let cols = &cols;
-                    scope.spawn(move || fill_neighbor_rows(a, cols, wi * chunk, slice));
-                }
-            });
+                let handles: Vec<_> = (0..n.div_ceil(chunk))
+                    .map(|wi| {
+                        let cols = &cols;
+                        let lo = wi * chunk;
+                        let hi = (lo + chunk).min(n);
+                        scope.spawn(move || fill_chunk(a, cols, lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            // cahd-lint: allow(L003, reason = "worker panics only propagate caller bugs; fill_chunk itself cannot panic on in-range rows")
+                            .expect("A x A^T build worker panicked")
+                    })
+                    .collect()
+            })
+        };
+        let nnz: usize = chunks.iter().map(|c| c.indices.len()).sum();
+        let mut indptr: Vec<usize> = Vec::with_capacity(n + 1);
+        indptr.push(0);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        for c in &chunks {
+            let base = indices.len();
+            indptr.extend(c.indptr.iter().skip(1).map(|&rel| base + rel));
+            indices.extend_from_slice(&c.indices);
         }
-        Graph::from_adjacency_unchecked(CsrMatrix::from_rows(&rows, n))
+        Graph::from_adjacency_unchecked(CsrMatrix::from_raw_parts(n, n, indptr, indices))
     }
 
     /// Always uses the implicit form.
@@ -260,22 +286,137 @@ impl RowGraph {
     }
 }
 
-/// Fills `out[i]` with the distinct neighbors of row `base + i` (excluding
-/// the row itself), using a stamped marker array local to the caller.
-fn fill_neighbor_rows(a: &CsrMatrix, cols: &CsrMatrix, base: usize, out: &mut [Vec<u32>]) {
-    let mut mark = vec![u32::MAX; a.n_rows()];
-    for (i, nbrs) in out.iter_mut().enumerate() {
-        let v = base + i;
-        mark[v] = v as u32;
-        for &item in a.row(v) {
-            for &r in cols.row(item as usize) {
-                if mark[r as usize] != v as u32 {
-                    mark[r as usize] = v as u32;
-                    nbrs.push(r);
+/// One worker's contiguous slice of the adjacency, as relative CSR parts
+/// (`indptr[0] == 0`; every row strictly ascending).
+struct ChunkAdjacency {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+/// Builds the sorted distinct neighbor lists of rows `lo..hi` (each
+/// excluding the row itself) as one flat chunk. The transpose rows are
+/// ascending, so one- and two-item rows emit pre-sorted lists by a plain
+/// merge; wider rows use a stamped gather plus one per-row sort.
+fn fill_chunk(a: &CsrMatrix, cols: &CsrMatrix, lo: usize, hi: usize) -> ChunkAdjacency {
+    let mut indptr: Vec<usize> = Vec::with_capacity(hi - lo + 1);
+    indptr.push(0);
+    // Reserve for the raw traversal count of this chunk; duplicates make
+    // this an over-estimate, which trades memory for zero reallocation.
+    let raw: usize = (lo..hi)
+        .flat_map(|v| a.row(v))
+        .map(|&i| cols.row(i as usize).len())
+        .sum();
+    let mut indices: Vec<u32> = Vec::with_capacity(raw);
+    let mut scratch = MergeScratch::default();
+    for v in lo..hi {
+        let items = a.row(v);
+        let vv = v as u32;
+        match *items {
+            [] => {}
+            [item] => {
+                indices.extend(cols.row(item as usize).iter().copied().filter(|&r| r != vv));
+            }
+            [i0, i1] => {
+                // Two-way merge of two ascending, distinct lists.
+                let (x, y) = (cols.row(i0 as usize), cols.row(i1 as usize));
+                let (mut p, mut q) = (0usize, 0usize);
+                while p < x.len() && q < y.len() {
+                    let (rx, ry) = (x[p], y[q]);
+                    let min = rx.min(ry);
+                    p += usize::from(rx == min);
+                    q += usize::from(ry == min);
+                    if min != vv {
+                        indices.push(min);
+                    }
                 }
+                indices.extend(x[p..].iter().copied().filter(|&r| r != vv));
+                indices.extend(y[q..].iter().copied().filter(|&r| r != vv));
+            }
+            _ => {
+                merge_lists(cols, items, vv, &mut indices, &mut scratch);
             }
         }
+        indptr.push(indices.len());
     }
+    ChunkAdjacency { indptr, indices }
+}
+
+/// Ping-pong buffers for [`merge_lists`].
+#[derive(Default)]
+struct MergeScratch {
+    buf: [Vec<u32>; 2],
+    bounds: [Vec<usize>; 2],
+}
+
+/// Merges `k >= 3` ascending distinct lists (the transpose rows of
+/// `items`) into one ascending distinct list appended to `out`, excluding
+/// `v`: balanced rounds of two-way merges, so each element is touched
+/// `ceil(log2 k)` times instead of paying a comparison sort.
+fn merge_lists(cols: &CsrMatrix, items: &[u32], v: u32, out: &mut Vec<u32>, s: &mut MergeScratch) {
+    // Round 0 merges the borrowed transpose rows into buffer 0; later
+    // rounds ping-pong between the two scratch buffers until one list
+    // remains, which is drained into `out` with `v` filtered.
+    let (mut cur, mut nxt) = (0usize, 1usize);
+    s.buf[cur].clear();
+    s.bounds[cur].clear();
+    s.bounds[cur].push(0);
+    let mut i = 0;
+    while i < items.len() {
+        let x = cols.row(items[i] as usize);
+        if i + 1 < items.len() {
+            merge_two(x, cols.row(items[i + 1] as usize), &mut s.buf[cur]);
+        } else {
+            s.buf[cur].extend_from_slice(x);
+        }
+        s.bounds[cur].push(s.buf[cur].len());
+        i += 2;
+    }
+    while s.bounds[cur].len() > 2 {
+        let (bufs, boundss) = (&mut s.buf, &mut s.bounds);
+        let (lo, hi) = split_pair(bufs, cur, nxt);
+        let (blo, bhi) = split_pair(boundss, cur, nxt);
+        hi.clear();
+        bhi.clear();
+        bhi.push(0);
+        let mut p = 0;
+        while p + 1 < blo.len() {
+            let x = &lo[blo[p]..blo[p + 1]];
+            if p + 2 < blo.len() {
+                merge_two(x, &lo[blo[p + 1]..blo[p + 2]], hi);
+            } else {
+                hi.extend_from_slice(x);
+            }
+            bhi.push(hi.len());
+            p += 2;
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    out.extend(s.buf[cur].iter().copied().filter(|&r| r != v));
+}
+
+/// Indexes two distinct slots of a length-2 array mutably.
+fn split_pair<T>(arr: &mut [T; 2], cur: usize, nxt: usize) -> (&T, &mut T) {
+    debug_assert!(cur != nxt && cur < 2 && nxt < 2);
+    let (a, b) = arr.split_at_mut(1);
+    if cur == 0 {
+        (&a[0], &mut b[0])
+    } else {
+        (&b[0], &mut a[0])
+    }
+}
+
+/// Appends the ascending distinct union of two ascending distinct lists.
+fn merge_two(x: &[u32], y: &[u32], out: &mut Vec<u32>) {
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < x.len() && q < y.len() {
+        let (rx, ry) = (x[p], y[q]);
+        let min = rx.min(ry);
+        p += usize::from(rx == min);
+        q += usize::from(ry == min);
+        out.push(min);
+    }
+    out.extend_from_slice(&x[p..]);
+    out.extend_from_slice(&y[q..]);
 }
 
 impl NeighborOracle for RowGraph {
