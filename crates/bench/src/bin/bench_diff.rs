@@ -6,11 +6,14 @@
 //! ```
 //!
 //! For every workload present in both files the tool prints the per-phase
-//! wall-clock deltas (total / rcm / group) and the deterministic work
-//! counters (pivots, candidate scans), so a slowdown can be split into
-//! "doing more work" vs "doing the same work slower". Phases slower by
-//! more than the threshold (default 10%) are flagged `REGRESSION`;
-//! `--fail-on-regression` turns any flag into a non-zero exit status.
+//! wall-clock deltas (total / rcm / group), the deterministic work
+//! counters (pivots, candidate scans, allocation counts), and the
+//! allocator high-water mark, so a slowdown can be split into "doing more
+//! work" vs "doing the same work slower". Phases slower by more than the
+//! threshold (default 10%) are flagged `REGRESSION`, and so is a
+//! `peak_alloc_bytes` grown past the same threshold — a memory regression
+//! gates exactly like a timing one; `--fail-on-regression` turns any flag
+//! into a non-zero exit status.
 //! Entries present in only one file are listed but never flagged.
 //! `--only PREFIX` restricts the diff (and the regression gate) to the
 //! entries whose name starts with the prefix — CI uses it to gate the
@@ -64,6 +67,30 @@ fn diff_entry(before: &SnapshotEntry, after: &SnapshotEntry, threshold: f64) -> 
         };
         println!("  {label:<6} {b:>9.3} ms -> {a:>9.3} ms  {delta}{flag}");
     }
+    // The allocator high-water mark gates like a timing phase. Baselines
+    // below 1 KiB (an emitter without the tracking allocator records 0)
+    // yield no meaningful ratio and are never flagged.
+    {
+        let (b, a) = (before.peak_alloc_bytes, after.peak_alloc_bytes);
+        let (delta, flag) = match (b >= 1024).then(|| (a as f64 - b as f64) / b as f64 * 100.0) {
+            Some(pct) => {
+                let flag = if pct > threshold {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                (format!("{pct:+7.1}%"), flag)
+            }
+            None => ("     n/a".to_string(), ""),
+        };
+        println!(
+            "  {:<6} {:>9.3} MiB -> {:>9.3} MiB  {delta}{flag}",
+            "peak",
+            b as f64 / (1024.0 * 1024.0),
+            a as f64 / (1024.0 * 1024.0),
+        );
+    }
     for (label, b, a) in [
         ("pivots", before.pivots_scanned, after.pivots_scanned),
         (
@@ -71,6 +98,7 @@ fn diff_entry(before: &SnapshotEntry, after: &SnapshotEntry, threshold: f64) -> 
             before.candidates_scanned,
             after.candidates_scanned,
         ),
+        ("allocs", before.allocs, after.allocs),
         ("groups", before.groups, after.groups),
     ] {
         if b == a {

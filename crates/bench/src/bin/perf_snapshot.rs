@@ -2,24 +2,35 @@
 //! reference workloads (see `cahd_bench::snapshot`).
 //!
 //! ```text
-//! perf_snapshot [--quick] [--seed N] [--out-dir DIR]
+//! perf_snapshot [--quick] [--seed N] [--out-dir DIR] [--only PREFIX]
 //! ```
 //!
 //! `--quick` runs the CI-sized workload set; the default is the 0.25-scale
-//! profile used by the paper reproduction. The file is re-read after
-//! writing, so a zero exit status also certifies the schema round-trips.
+//! profile used by the paper reproduction. `--only PREFIX` runs only the
+//! entries whose name starts with the prefix (a targeted re-measure; the
+//! skipped workloads never execute). The file is re-read after writing,
+//! so a zero exit status also certifies the schema round-trips.
+//!
+//! This binary registers [`cahd_obs::TrackingAllocator`], so each entry's
+//! `peak_alloc_bytes`/`allocs` columns carry real allocator readings —
+//! the same workloads snapshot as zeros from a binary without it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cahd_bench::snapshot;
+use cahd_obs::TrackingAllocator;
 
-const USAGE: &str = "usage: perf_snapshot [--quick] [--seed N] [--out-dir DIR]";
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+const USAGE: &str = "usage: perf_snapshot [--quick] [--seed N] [--out-dir DIR] [--only PREFIX]";
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 42u64;
     let mut out_dir = PathBuf::from(".");
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,6 +43,10 @@ fn main() -> ExitCode {
                 Some(v) => out_dir = PathBuf::from(v),
                 None => return usage_error("--out-dir needs a directory"),
             },
+            "--only" => match args.next() {
+                Some(v) => only = Some(v),
+                None => return usage_error("--only needs an entry-name prefix"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -39,7 +54,7 @@ fn main() -> ExitCode {
             other => return usage_error(&format!("unknown argument {other:?}")),
         }
     }
-    let snap = snapshot::collect(quick, seed);
+    let snap = snapshot::collect_filtered(quick, seed, only.as_deref());
     print!("{}", snap.render_human());
     match snap.write_validated(&out_dir) {
         Ok(path) => {

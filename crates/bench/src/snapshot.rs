@@ -16,7 +16,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
 use cahd_core::shard::ParallelConfig;
 use cahd_data::{profiles, SensitiveSet};
-use cahd_obs::Recorder;
+use cahd_obs::{memtrack, Recorder};
 use cahd_rcm::OrderingStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +47,13 @@ pub struct SnapshotEntry {
     pub pivots_scanned: u64,
     /// Deterministic work: candidate-transaction scans.
     pub candidates_scanned: u64,
+    /// Peak allocator high-water mark during the run, bytes. Zero when
+    /// the emitting binary does not register
+    /// [`cahd_obs::TrackingAllocator`] (`perf_snapshot` does).
+    pub peak_alloc_bytes: u64,
+    /// Allocation count during the run; like the work counters this is a
+    /// "doing more work" signal, but for the allocator.
+    pub allocs: u64,
 }
 
 /// A full snapshot file.
@@ -94,10 +101,17 @@ fn run_entry(
     cfg.rcm.threads = cfg.rcm.threads.max(ordering_threads);
     let mut best: Option<SnapshotEntry> = None;
     for _ in 0..5 {
+        // Re-arm the allocator high-water mark so each repeat measures
+        // its own peak above the current live set, not a stale maximum
+        // from an earlier repeat or workload. All zeros when the binary
+        // does not run the tracking allocator.
+        memtrack::reset_peak();
+        let mem_before = memtrack::stats();
         let rec = Recorder::new();
         let res = Anonymizer::new(cfg)
             .anonymize_traced(data, &sensitive, &rec)
             .expect("reference workload is feasible");
+        let mem_after = memtrack::stats();
         let trace = res.trace.expect("traced run yields a report");
         let entry = SnapshotEntry {
             name: name.to_string(),
@@ -109,8 +123,10 @@ fn run_entry(
             rcm_ms: span_ms(&trace, "pipeline/rcm"),
             group_ms: span_ms(&trace, "pipeline/group"),
             groups: res.published.n_groups() as u64,
-            pivots_scanned: trace.counter("core.pivots_scanned").unwrap_or(0),
-            candidates_scanned: trace.counter("core.candidates_scanned").unwrap_or(0),
+            pivots_scanned: trace.counter_or_zero("core.pivots_scanned"),
+            candidates_scanned: trace.counter_or_zero("core.candidates_scanned"),
+            peak_alloc_bytes: mem_after.peak_bytes,
+            allocs: mem_after.allocs - mem_before.allocs,
         };
         best = Some(match best.take() {
             None => entry,
@@ -118,6 +134,11 @@ fn run_entry(
                 total_ms: b.total_ms.min(entry.total_ms),
                 rcm_ms: b.rcm_ms.min(entry.rcm_ms),
                 group_ms: b.group_ms.min(entry.group_ms),
+                // The first repeat pays one-off lazy initialization; the
+                // minima track the steady-state footprint, mirroring the
+                // per-phase timing minima.
+                peak_alloc_bytes: b.peak_alloc_bytes.min(entry.peak_alloc_bytes),
+                allocs: b.allocs.min(entry.allocs),
                 ..b
             },
         });
@@ -131,6 +152,16 @@ fn run_entry(
 /// packed-bitset path (see `cahd_core::kernel`); the BMS entries keep its
 /// long-tail sparse path honest.
 pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
+    collect_filtered(quick, seed, None)
+}
+
+/// Like [`collect`], but only runs the entries whose name starts with
+/// `only` (e.g. `bms1` or `bms1/p4/ord-`). Skipped workloads are never
+/// executed, so a targeted re-measure costs a fraction of the full set;
+/// the resulting partial snapshot diffs cleanly because `bench_diff`
+/// ignores entries missing from one side.
+pub fn collect_filtered(quick: bool, seed: u64, only: Option<&str>) -> PerfSnapshot {
+    let keep = |name: &str| only.is_none_or(|prefix| name.starts_with(prefix));
     let scale = if quick { 0.02 } else { 0.25 };
     let created_unix_s = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -150,6 +181,9 @@ pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
     ] {
         for shards in [1usize, 4] {
             let name = format!("{profile}/p{p}/shards{shards}");
+            if !keep(&name) {
+                continue;
+            }
             entries.push(run_entry(
                 &name,
                 data,
@@ -171,6 +205,9 @@ pub fn collect(quick: bool, seed: u64) -> PerfSnapshot {
     for strategy in OrderingStrategy::ALL {
         for threads in [1usize, 8] {
             let name = format!("bms1/p4/ord-{}-t{threads}", strategy.name());
+            if !keep(&name) {
+                continue;
+            }
             entries.push(run_entry(&name, &bms1, 4, 3, 1, seed, strategy, threads));
         }
     }
@@ -216,14 +253,16 @@ impl PerfSnapshot {
         for e in &self.entries {
             out.push_str(&format!(
                 "  {:<20} n={:<6} total {:>8.1} ms  rcm {:>8.1} ms  group {:>8.1} ms  \
-                 pivots {:>6}  groups {:>5}\n",
+                 pivots {:>6}  groups {:>5}  peak {:>7.2} MiB  allocs {:>8}\n",
                 e.name,
                 e.n_transactions,
                 e.total_ms,
                 e.rcm_ms,
                 e.group_ms,
                 e.pivots_scanned,
-                e.groups
+                e.groups,
+                e.peak_alloc_bytes as f64 / (1024.0 * 1024.0),
+                e.allocs,
             ));
         }
         out
@@ -250,6 +289,9 @@ mod tests {
         for e in &snap.entries {
             assert!(e.pivots_scanned > 0, "{}", e.name);
             assert!(e.total_ms >= e.group_ms, "{}", e.name);
+            // This test binary does not register the tracking allocator,
+            // so the memory columns must stay at their inert zeros.
+            assert_eq!((e.peak_alloc_bytes, e.allocs), (0, 0), "{}", e.name);
         }
         // Sequential and sharded runs of a profile agree on the dataset.
         assert_eq!(
@@ -265,5 +307,17 @@ mod tests {
             .starts_with("BENCH_"));
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn only_prefix_restricts_the_collected_entries() {
+        let snap = collect_filtered(true, 7, Some("bms1/p4/ord-"));
+        assert_eq!(snap.entries.len(), 6);
+        assert!(snap
+            .entries
+            .iter()
+            .all(|e| e.name.starts_with("bms1/p4/ord-")));
+        // An unmatched prefix yields an empty (but valid) snapshot.
+        assert!(collect_filtered(true, 7, Some("nope")).entries.is_empty());
     }
 }

@@ -1,0 +1,25 @@
+//! Snapshot memory columns with the tracking allocator registered, the
+//! way the `perf_snapshot` binary registers it. One `#[test]`: the
+//! allocator counters are process-global.
+
+use cahd_bench::snapshot::collect_filtered;
+use cahd_obs::TrackingAllocator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+#[test]
+fn snapshot_entries_carry_real_allocator_readings() {
+    let snap = collect_filtered(true, 7, Some("bms1/p4/shards1"));
+    assert_eq!(snap.entries.len(), 1);
+    let e = &snap.entries[0];
+    // A real pipeline run allocates, and the per-repeat peak sits at or
+    // above the net growth of the busiest moment — both columns must be
+    // live, not the inert zeros of an allocator-less binary.
+    assert!(e.allocs > 0, "allocs column is dead");
+    assert!(
+        e.peak_alloc_bytes >= 1024,
+        "peak {} implausibly small for a pipeline run",
+        e.peak_alloc_bytes
+    );
+}

@@ -48,8 +48,8 @@ mod report;
 
 pub use diagnostic::{Diagnostic, Severity};
 pub use passes::{
-    BandQuality, ConfigSanity, Coverage, Feasibility, Pass, PrivacyDegree, QidFidelity, Recovery,
-    SensitiveSummary, ShardMerge, TraceObs,
+    BandQuality, ConfigSanity, Coverage, Feasibility, MemoryAudit, Pass, PrivacyDegree,
+    QidFidelity, Recovery, SensitiveSummary, ShardMerge, TraceObs,
 };
 pub use report::CheckReport;
 
@@ -111,7 +111,8 @@ impl Registry {
 
 /// The full built-in registry: config sanity, feasibility, coverage, QID
 /// fidelity, sensitive summaries, privacy degree, shard-merge integrity,
-/// band quality, trace-report integrity and recovery accounting.
+/// band quality, trace-report integrity, memory-audit and recovery
+/// accounting.
 pub fn default_registry() -> Registry {
     Registry::new()
         .register(ConfigSanity)
@@ -123,6 +124,7 @@ pub fn default_registry() -> Registry {
         .register(ShardMerge)
         .register(BandQuality)
         .register(TraceObs)
+        .register(MemoryAudit)
         .register(Recovery)
 }
 
@@ -169,7 +171,7 @@ mod tests {
         let (data, sens, pub_) = setup();
         let report = run(&data, &sens, &pub_, 2);
         assert!(report.is_clean(), "{}", report.render_human());
-        assert_eq!(report.passes_run.len(), 10);
+        assert_eq!(report.passes_run.len(), 11);
     }
 
     #[test]
@@ -500,6 +502,125 @@ mod tests {
         // Without a trace the pass is a no-op.
         let report = Registry::new().register(Recovery).run(&input(None));
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn memory_audit_accepts_coherent_sections_and_flags_tampered_ones() {
+        use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
+        use cahd_obs::{GaugeRecord, MemTotals, MemoryReport, Recorder, SpanMemRecord};
+        let (data, sens, _) = setup();
+        let rec = Recorder::new();
+        let res = Anonymizer::new(AnonymizerConfig::with_privacy_degree(2))
+            .anonymize_traced(&data, &sens, &rec)
+            .unwrap();
+        // This test binary runs on the default allocator, so a real run
+        // cannot produce a memory section; graft a coherent one onto the
+        // real report (windows matching recorded spans, counts within
+        // their execution counts).
+        let mut trace = res.trace.expect("traced run yields a report");
+        let window = |path: &str, alloc: u64, dealloc: u64, peak: u64| SpanMemRecord {
+            path: path.to_string(),
+            count: 1,
+            alloc_bytes: alloc,
+            dealloc_bytes: dealloc,
+            peak_bytes: peak,
+        };
+        trace.memory = Some(MemoryReport {
+            totals: MemTotals {
+                alloc_bytes: 10_000,
+                dealloc_bytes: 8_000,
+                allocs: 100,
+                deallocs: 90,
+                live_bytes: 2_000,
+                peak_bytes: 5_000,
+            },
+            spans: vec![
+                window("pipeline", 9_000, 7_000, 5_000),
+                window("pipeline/group", 4_000, 3_000, 5_000),
+                window("pipeline/rcm", 3_000, 2_500, 4_000),
+            ],
+        });
+        let input = |trace| CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &res.published,
+            p: 2,
+            trace,
+        };
+        let report = default_registry().run(&input(Some(&trace)));
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert!(report.passes_run.contains(&"memory-audit"));
+
+        let o002 = |trace: &TraceReport| {
+            Registry::new().register(MemoryAudit).run(&CheckInput {
+                data: &data,
+                sensitive: &sens,
+                published: &res.published,
+                p: 2,
+                trace: Some(trace),
+            })
+        };
+
+        // Structural tampering: freed more than was ever allocated.
+        let mut bad = trace.clone();
+        bad.memory.as_mut().unwrap().totals.dealloc_bytes = 20_000;
+        let report = o002(&bad);
+        assert!(!report.is_clean(), "{}", report.render_human());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "CAHD-O002" && d.severity == Severity::Error));
+
+        // A memory window with no wall-clock span in the report.
+        let mut bad = trace.clone();
+        bad.memory.as_mut().unwrap().spans[2].path = "pipeline/phantom".to_string();
+        let report = o002(&bad);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("no wall-clock span")),
+            "{}",
+            report.render_human()
+        );
+
+        // A window claiming more executions than its span.
+        let mut bad = trace.clone();
+        bad.memory.as_mut().unwrap().spans[0].count = 99;
+        let report = o002(&bad);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("only ran")),
+            "{}",
+            report.render_human()
+        );
+
+        // A monotone mem.* gauge exceeding the snapshot totals.
+        let mut bad = trace.clone();
+        bad.gauges.push(GaugeRecord {
+            name: "mem.peak_bytes".to_string(),
+            value: 6_000.0,
+        });
+        let report = o002(&bad);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("monotone counter")),
+            "{}",
+            report.render_human()
+        );
+
+        // Without a memory section (or a trace at all) the pass is a no-op.
+        let mut plain = trace.clone();
+        plain.memory = None;
+        assert!(o002(&plain).is_clean());
+        assert!(Registry::new()
+            .register(MemoryAudit)
+            .run(&input(None))
+            .is_clean());
     }
 
     #[test]

@@ -459,7 +459,7 @@ impl Pass for TraceObs {
                 format!("span `{orphan}` has no parent span in the report"),
             );
         }
-        let counter = |name: &str| trace.counter(name).unwrap_or(0);
+        let counter = |name: &str| trace.counter_or_zero(name);
         let hist_count = |name: &str| trace.histogram(name).map_or(0, |h| h.count);
 
         let pivots = counter("core.pivots_scanned");
@@ -609,7 +609,7 @@ impl Pass for Recovery {
         let Some(trace) = input.trace else {
             return;
         };
-        let counter = |name: &str| trace.counter(name).unwrap_or(0);
+        let counter = |name: &str| trace.counter_or_zero(name);
 
         let quarantined = counter("core.quarantined_rows");
         let fallback = counter("core.fallback_group_size");
@@ -647,6 +647,104 @@ impl Pass for Recovery {
                     format!("{recovered} recovered shards exceed the {shards}-shard run"),
                 ),
                 Some(_) => {}
+            }
+        }
+    }
+}
+
+/// `CAHD-O002` — memory audit: the trace's `memory` section is coherent
+/// with itself and with the rest of the report.
+///
+/// Two layers of findings, all errors:
+///
+/// * **structural** — the section's own invariants
+///   ([`cahd_obs::MemoryReport::consistency_findings`]): monotone totals
+///   (`dealloc <= alloc`, `live == alloc - dealloc`, `peak >= live` at
+///   snapshot), strictly sorted span windows bounded by the process
+///   totals, and child windows bounded by their parent (children are
+///   disjoint sub-windows over monotone counters, and the close-time peak
+///   reading is monotone in time);
+/// * **cross-section** — every memory window belongs to a wall-clock span
+///   recorded in the same report and cannot have executed more often than
+///   it; the monotone `mem.*` gauges, recorded *before* the snapshot read
+///   its totals, never exceed the corresponding totals
+///   (`mem.live_bytes` is exempt — live memory is not monotone).
+///
+/// Memory numbers are scheduling-dependent (gauge semantics — see
+/// `docs/OBSERVABILITY.md`), so this pass audits *consistency*, never
+/// absolute values. When the report has no `memory` section (the run did
+/// not opt in with `--memory`, or the emitting binary ran without the
+/// tracking allocator) or [`CheckInput::trace`] is `None`, the pass is a
+/// no-op.
+pub struct MemoryAudit;
+
+impl MemoryAudit {
+    fn finding(out: &mut Vec<Diagnostic>, message: String) {
+        out.push(Diagnostic::error("CAHD-O002", message));
+    }
+}
+
+impl Pass for MemoryAudit {
+    fn name(&self) -> &'static str {
+        "memory-audit"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["CAHD-O002"]
+    }
+
+    fn description(&self) -> &'static str {
+        "the trace's memory section is coherent and agrees with spans and gauges"
+    }
+
+    fn run(&self, input: &CheckInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(trace) = input.trace else {
+            return;
+        };
+        let Some(mem) = trace.memory.as_ref() else {
+            return;
+        };
+        for finding in mem.consistency_findings() {
+            Self::finding(out, finding);
+        }
+        for w in &mem.spans {
+            match trace.span(&w.path) {
+                None => Self::finding(
+                    out,
+                    format!(
+                        "memory window `{}` has no wall-clock span in the report",
+                        w.path
+                    ),
+                ),
+                Some(s) if w.count > s.count => Self::finding(
+                    out,
+                    format!(
+                        "memory window `{}` aggregates {} executions but its span only ran {} \
+                         times",
+                        w.path, w.count, s.count
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+        let t = &mem.totals;
+        for (gauge, total) in [
+            ("mem.alloc_bytes", t.alloc_bytes),
+            ("mem.dealloc_bytes", t.dealloc_bytes),
+            ("mem.allocs", t.allocs),
+            ("mem.deallocs", t.deallocs),
+            ("mem.peak_bytes", t.peak_bytes),
+        ] {
+            if let Some(g) = trace.gauge(gauge) {
+                if g > total as f64 {
+                    Self::finding(
+                        out,
+                        format!(
+                            "gauge {gauge} reads {g}, exceeding the snapshot total {total} of a \
+                             monotone counter"
+                        ),
+                    );
+                }
             }
         }
     }

@@ -12,7 +12,7 @@ use cahd_core::pipeline::{Anonymizer, AnonymizerConfig};
 use cahd_core::recovery::{sanitize_row, RecoveryConfig};
 use cahd_core::shard::ParallelConfig;
 use cahd_core::streaming::{ReleaseChunk, StreamingAnonymizer};
-use cahd_core::weighted::{anonymize_weighted, verify_weighted, WeightedSimilarity};
+use cahd_core::weighted::{anonymize_weighted_traced, verify_weighted, WeightedSimilarity};
 use cahd_core::{verify_published, AnonymizedGroup, CahdConfig, KernelMode, PublishedDataset};
 use cahd_data::{
     io, profiles, DatasetStats, ItemId, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
@@ -234,6 +234,10 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         takes_value: false,
     },
     FlagSpec {
+        name: "memory",
+        takes_value: false,
+    },
+    FlagSpec {
         name: "kernel",
         takes_value: true,
     },
@@ -295,10 +299,45 @@ fn ordering_from_args(args: &Args) -> Result<OrderingStrategy, CliError> {
     }
 }
 
+/// Whether any observability flag asks for a traced run.
+fn tracing_requested(args: &Args) -> bool {
+    args.value("trace-json").is_some() || args.has("metrics") || args.has("memory")
+}
+
+/// Builds the recorder implied by the observability flags: memory-tracking
+/// when `--memory`, plain when only `--trace-json`/`--metrics`, disabled
+/// otherwise (so untraced runs pay nothing).
+fn recorder_from_args(args: &Args) -> Recorder {
+    if args.has("memory") {
+        Recorder::new().with_memory()
+    } else if tracing_requested(args) {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Appends the observability outputs of a traced run: the raw report for
+/// `--trace-json`, the human rendering for `--metrics` — and for
+/// `--memory` without `--trace-json`, which would otherwise capture a
+/// report nobody sees.
+fn emit_trace(args: &Args, trace: &TraceReport, out: &mut String) -> Result<(), CliError> {
+    if let Some(path) = args.value("trace-json") {
+        std::fs::write(path, serde_json::to_string_pretty(trace)?)?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    if args.has("metrics") || (args.has("memory") && args.value("trace-json").is_none()) {
+        out.push_str(&trace.render_human());
+    }
+    Ok(())
+}
+
 /// `anonymize <data.dat> --p P ...`: produce a release (JSON on disk or a
 /// summary on stdout). With `--trace-json <path>` and/or `--metrics` the
 /// run is traced: the observability report is written as JSON and/or
-/// rendered to stdout (instrumented `cahd` method only).
+/// rendered to stdout (instrumented `cahd` method only, including the
+/// `--weighted`, `--bad-input` and `--stream-batch` paths). `--memory`
+/// additionally attributes allocator activity to pipeline phases.
 pub fn anonymize(args: &Args) -> Result<String, CliError> {
     let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
         if p == 0 {
@@ -308,21 +347,11 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
         }
     })?;
     let seed: u64 = args.parse_or("seed", 42)?;
-    let tracing = args.value("trace-json").is_some() || args.has("metrics");
+    let tracing = tracing_requested(args);
     if args.has("weighted") {
-        if tracing {
-            return Err(CliError::Usage(
-                "--trace-json/--metrics are not supported with --weighted".into(),
-            ));
-        }
         return anonymize_weighted_cmd(args, p, seed);
     }
     if args.value("stream-batch").is_some() {
-        if tracing {
-            return Err(CliError::Usage(
-                "--trace-json/--metrics are not supported with --stream-batch".into(),
-            ));
-        }
         return anonymize_stream_cmd(args, p);
     }
     for flag in ["checkpoint", "max-batches"] {
@@ -365,11 +394,7 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
             if shards > 1 || threads > 1 {
                 cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
             }
-            let rec = if tracing {
-                Recorder::new()
-            } else {
-                Recorder::disabled()
-            };
+            let rec = recorder_from_args(args);
             let res = Anonymizer::new(cfg).anonymize_traced(&data, &sensitive, &rec)?;
             trace = res.trace;
             res.published
@@ -402,19 +427,14 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!("release written to {path}\n"));
     }
     if let Some(trace) = &trace {
-        if let Some(path) = args.value("trace-json") {
-            std::fs::write(path, serde_json::to_string_pretty(trace)?)?;
-            out.push_str(&format!("trace written to {path}\n"));
-        }
-        if args.has("metrics") {
-            out.push_str(&trace.render_human());
-        }
+        emit_trace(args, trace, &mut out)?;
     }
     Ok(out)
 }
 
 /// The `--weighted` path of [`anonymize`]: reads `.wdat` count data and
-/// runs the weighted CAHD pipeline.
+/// runs the weighted CAHD pipeline (traced, so `--trace-json`/`--metrics`/
+/// `--memory` work here too).
 fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, CliError> {
     let path = args.positional(0, "data.wdat")?;
     if !Path::new(path).exists() {
@@ -433,8 +453,9 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
     let cfg = CahdConfig::new(p)
         .with_alpha(args.parse_or("alpha", 3usize)?)
         .with_kernel(kernel_from_args(args)?);
+    let rec = recorder_from_args(args);
     let (mut release, _) =
-        anonymize_weighted(&data, &sensitive, &cfg, WeightedSimilarity::MinCount)?;
+        anonymize_weighted_traced(&data, &sensitive, &cfg, WeightedSimilarity::MinCount, &rec)?;
     verify_weighted(&data, &sensitive, &release, p)
         .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
     let n_groups = release.groups.len();
@@ -447,6 +468,9 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
     if let Some(path) = args.value("out") {
         std::fs::write(path, serde_json::to_string(&release)?)?;
         out.push_str(&format!("weighted release written to {path}\n"));
+    }
+    if rec.is_enabled() {
+        emit_trace(args, &rec.snapshot(), &mut out)?;
     }
     Ok(out)
 }
@@ -517,12 +541,7 @@ fn anonymize_robust_cmd(args: &Args, p: usize, seed: u64) -> Result<String, CliE
     let sanitized: Vec<Vec<ItemId>> = rows.iter().map(|r| sanitize_row(r, d)).collect();
     let norm = TransactionSet::from_rows(&sanitized, d);
     let sensitive = sensitive_from_args(args, &norm, p, seed)?;
-    let tracing = args.value("trace-json").is_some() || args.has("metrics");
-    let rec = if tracing {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    let rec = recorder_from_args(args);
     let robust = Anonymizer::new(anonymizer_config_from_args(args, p)?)
         .anonymize_rows_traced(&rows, &sensitive, &recovery, &rec)?;
     let mut published = robust.result.published;
@@ -549,13 +568,7 @@ fn anonymize_robust_cmd(args: &Args, p: usize, seed: u64) -> Result<String, CliE
         out.push_str(&format!("release written to {path}\n"));
     }
     if let Some(trace) = &robust.result.trace {
-        if let Some(path) = args.value("trace-json") {
-            std::fs::write(path, serde_json::to_string_pretty(trace)?)?;
-            out.push_str(&format!("trace written to {path}\n"));
-        }
-        if args.has("metrics") {
-            out.push_str(&trace.render_human());
-        }
+        emit_trace(args, trace, &mut out)?;
     }
     Ok(out)
 }
@@ -598,6 +611,7 @@ fn anonymize_stream_cmd(args: &Args, p: usize) -> Result<String, CliError> {
         ));
     }
 
+    let rec = recorder_from_args(args);
     let mut out = String::new();
     let mut chunks: Vec<ReleaseChunk> = Vec::new();
     let mut chunk_idx = 0usize;
@@ -614,12 +628,15 @@ fn anonymize_stream_cmd(args: &Args, p: usize) -> Result<String, CliError> {
             "resumed from {cp_path} (stream position {}, {chunk_idx} chunks released)\n",
             cp.next_id
         ));
-        StreamingAnonymizer::resume(cfg, sensitive.clone(), &cp)?.with_recovery(recovery)
+        StreamingAnonymizer::resume_traced(cfg, sensitive.clone(), &cp, &rec)?
+            .with_recovery(recovery)
     } else {
         if let Some(dir) = ckpt_dir {
             std::fs::create_dir_all(dir).map_err(io_to_run(dir))?;
         }
-        StreamingAnonymizer::new(cfg, sensitive.clone(), batch).with_recovery(recovery)
+        StreamingAnonymizer::new(cfg, sensitive.clone(), batch)
+            .with_recovery(recovery)
+            .with_recorder(&rec)
     };
     let start = usize::try_from(stream.next_stream_id()).unwrap_or(usize::MAX);
     if start > rows.len() {
@@ -647,6 +664,9 @@ fn anonymize_stream_cmd(args: &Args, p: usize) -> Result<String, CliError> {
                      rerun with --resume to continue\n",
                     stream.buffered()
                 ));
+                if rec.is_enabled() {
+                    emit_trace(args, &rec.snapshot(), &mut out)?;
+                }
                 return Ok(out);
             }
         }
@@ -711,6 +731,9 @@ fn anonymize_stream_cmd(args: &Args, p: usize) -> Result<String, CliError> {
     if let Some(path) = args.value("out") {
         std::fs::write(path, serde_json::to_string(&to_write)?)?;
         out.push_str(&format!("release written to {path}\n"));
+    }
+    if rec.is_enabled() {
+        emit_trace(args, &rec.snapshot(), &mut out)?;
     }
     Ok(out)
 }
@@ -960,6 +983,10 @@ pub const PROFILE_FLAGS: &[FlagSpec] = &[
         takes_value: true,
     },
     FlagSpec {
+        name: "memory",
+        takes_value: false,
+    },
+    FlagSpec {
         name: "kernel",
         takes_value: true,
     },
@@ -971,9 +998,10 @@ pub const PROFILE_FLAGS: &[FlagSpec] = &[
 
 /// `profile <data.dat> --p P ...`: run the traced pipeline plus a traced
 /// query workload, self-check the combined report with the `CAHD-O001`
-/// pass, and print the human rendering (span tree, counters, gauges,
-/// histogram digests). `--trace-json <path>` additionally writes the raw
-/// report.
+/// and `CAHD-O002` passes, and print the human rendering (span tree,
+/// counters, gauges, histogram digests). `--memory` adds per-phase
+/// allocator attribution (peak and net bytes per span) to the report.
+/// `--trace-json <path>` additionally writes the raw report.
 pub fn profile(args: &Args) -> Result<String, CliError> {
     let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
         if p == 0 {
@@ -998,7 +1026,11 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
         cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
     }
 
-    let rec = Recorder::new();
+    let rec = if args.has("memory") {
+        Recorder::new().with_memory()
+    } else {
+        Recorder::new()
+    };
     let res = Anonymizer::new(cfg).anonymize_traced(&data, &sensitive, &rec)?;
     verify_published(&data, &sensitive, &res.published, p)
         .map_err(|e| CliError::Run(format!("internal error: release failed verification: {e}")))?;
@@ -1014,6 +1046,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let trace = rec.snapshot();
     let audit = cahd_check::Registry::new()
         .register(cahd_check::TraceObs)
+        .register(cahd_check::MemoryAudit)
         .run(&cahd_check::CheckInput {
             data: &data,
             sensitive: &sensitive,
@@ -1023,7 +1056,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
         });
     if !audit.is_clean() {
         return Err(CliError::Run(format!(
-            "internal error: trace report failed its own CAHD-O001 audit:\n{}",
+            "internal error: trace report failed its own CAHD-O001/O002 audit:\n{}",
             audit.render_human()
         )));
     }
@@ -1351,10 +1384,18 @@ mod tests {
                 "3",
                 "--out",
                 &rel_f,
+                "--metrics",
+                "--memory",
             ],
         ))
         .unwrap();
         assert!(out.contains("weighted"), "{out}");
+        // The weighted path is traced now: `--metrics` renders the span
+        // tree instead of being rejected. This test binary does not run
+        // the tracking allocator, so `--memory` degrades to the plain
+        // wall-clock report instead of producing a memory block.
+        assert!(out.contains("spans:"), "{out}");
+        assert!(!out.contains("memory (tracking allocator"), "{out}");
         assert!(std::fs::read_to_string(&rel_f)
             .unwrap()
             .contains("qid_rows"));

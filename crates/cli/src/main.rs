@@ -4,6 +4,14 @@ use std::process::ExitCode;
 
 use cahd_cli::args::Args;
 use cahd_cli::{commands, CliError};
+use cahd_obs::TrackingAllocator;
+
+/// Every allocation the CLI makes goes through the tracking allocator, so
+/// `--memory` can attribute per-phase peaks and deltas. Without `--memory`
+/// the recorder never reads the counters and the cost stays at a few
+/// relaxed atomic ops per allocation.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
 
 const USAGE: &str = "\
 cahd-cli — anonymization of sparse transaction data (CAHD, ICDE 2008)
@@ -26,7 +34,8 @@ usage:
                      the final group)
                      [--stream-batch N] [--checkpoint dir] [--resume]
                      [--max-batches M]  (streaming with checkpoint/resume)
-                     [--trace-json trace.json] [--metrics]  (observability)
+                     [--trace-json trace.json] [--metrics] [--memory]
+                     (observability; --memory adds allocator attribution)
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>
   cahd-cli verify    <data.dat> <release.json> --p P
@@ -41,6 +50,7 @@ usage:
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
                      [--kernel adaptive|sparse|dense] [--ordering rcm|bfs|cluster]
                      [--r R] [--queries N] [--seed N] [--trace-json trace.json]
+                     [--memory]  (adds per-phase allocator attribution)
                      (traced pipeline + workload; see docs/OBSERVABILITY.md)
 ";
 

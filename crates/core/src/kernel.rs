@@ -622,8 +622,8 @@ mod tests {
             kernel.flush_to(&rec);
         }
         let report = rec.snapshot();
-        let dense = report.counter("core.kernel_dense_scores").unwrap_or(0);
-        let sparse = report.counter("core.kernel_sparse_scores").unwrap_or(0);
+        let dense = report.counter_or_zero("core.kernel_dense_scores");
+        let sparse = report.counter_or_zero("core.kernel_sparse_scores");
         assert_eq!(dense + sparse, 14);
     }
 }

@@ -187,6 +187,9 @@ impl Anonymizer {
             }
         }
         drop(pipeline_span);
+        // Inert unless the binary runs the tracking allocator and the
+        // recorder opted in via `with_memory`.
+        rec.record_memory_gauges();
 
         Ok(PipelineResult {
             published,
@@ -428,6 +431,9 @@ impl Anonymizer {
             n,
             "robust pipeline must publish every row exactly once"
         );
+        // Refresh the allocator gauges past the quarantine merge (the
+        // degraded path never enters `anonymize_with_plan`).
+        rec.record_memory_gauges();
         Ok(RobustResult {
             recovered_shards: result
                 .sharded_stats
@@ -566,24 +572,24 @@ mod tests {
             }
             // Engine counters agree with the returned stats.
             assert_eq!(
-                trace.counter("core.groups_formed").unwrap_or(0),
+                trace.counter_or_zero("core.groups_formed"),
                 res.cahd_stats.groups_formed as u64
             );
             assert_eq!(
-                trace.counter("core.pivots_scanned").unwrap_or(0),
-                trace.counter("core.groups_formed").unwrap_or(0)
-                    + trace.counter("core.rollbacks").unwrap_or(0)
-                    + trace.counter("core.insufficient_candidates").unwrap_or(0)
+                trace.counter_or_zero("core.pivots_scanned"),
+                trace.counter_or_zero("core.groups_formed")
+                    + trace.counter_or_zero("core.rollbacks")
+                    + trace.counter_or_zero("core.insufficient_candidates")
             );
             // Every scanned candidate was scored by exactly one kernel path.
             assert_eq!(
-                trace.counter("core.kernel_dense_scores").unwrap_or(0)
-                    + trace.counter("core.kernel_sparse_scores").unwrap_or(0),
-                trace.counter("core.candidates_scanned").unwrap_or(0)
+                trace.counter_or_zero("core.kernel_dense_scores")
+                    + trace.counter_or_zero("core.kernel_sparse_scores"),
+                trace.counter_or_zero("core.candidates_scanned")
             );
             assert!(
-                trace.counter("core.kernel_cache_hits").unwrap_or(0)
-                    <= trace.counter("core.kernel_dense_scores").unwrap_or(0)
+                trace.counter_or_zero("core.kernel_cache_hits")
+                    <= trace.counter_or_zero("core.kernel_dense_scores")
             );
             if !parallel.is_sequential() {
                 let scans = trace.histogram("core.shard_scan_ns").expect("shard hist");
@@ -677,8 +683,8 @@ mod tests {
         let trace = robust.result.result_trace();
         assert_eq!(trace.counter("core.quarantined_rows"), Some(2));
         assert!(
-            trace.counter("core.fallback_group_size").unwrap_or(0)
-                >= trace.counter("core.quarantined_rows").unwrap_or(0)
+            trace.counter_or_zero("core.fallback_group_size")
+                >= trace.counter_or_zero("core.quarantined_rows")
         );
     }
 

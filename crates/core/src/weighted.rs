@@ -122,6 +122,25 @@ pub fn cahd_weighted(
     config: &CahdConfig,
     similarity: WeightedSimilarity,
 ) -> Result<(WeightedPublished, CahdStats), CahdError> {
+    cahd_weighted_traced(
+        data,
+        sensitive,
+        config,
+        similarity,
+        &cahd_obs::Recorder::disabled(),
+    )
+}
+
+/// Like [`cahd_weighted`], recording the `pipeline/group` span and the
+/// greedy engine's `core.*` counters into `rec` (the weighted analogue of
+/// [`crate::cahd::cahd_traced`]).
+pub fn cahd_weighted_traced(
+    data: &WeightedTransactionSet,
+    sensitive: &SensitiveSet,
+    config: &CahdConfig,
+    similarity: WeightedSimilarity,
+    rec: &cahd_obs::Recorder,
+) -> Result<(WeightedPublished, CahdStats), CahdError> {
     config.validate()?;
     let n = data.n_transactions();
     if sensitive.n_items() != data.n_items() {
@@ -158,7 +177,7 @@ pub fn cahd_weighted(
     // the adaptive sparse/dense kernel directly; MinCount needs the
     // pivot's counts alongside the stamps, which a one-bit bitset cannot
     // carry, so it uses the sparse-only count scorer.
-    let rec = cahd_obs::Recorder::disabled();
+    let group_span = rec.span("pipeline/group");
     let formed = match similarity {
         WeightedSimilarity::PresenceOverlap => {
             let binary_qid: Vec<Vec<ItemId>> = qid_of
@@ -175,7 +194,7 @@ pub fn cahd_weighted(
                 config,
                 |t, cl, out| kernel.score(t, cl, out),
                 FeasibilityCheck::Enforce,
-                &rec,
+                rec,
             )?
         }
         WeightedSimilarity::MinCount => {
@@ -188,10 +207,11 @@ pub fn cahd_weighted(
                 config,
                 |t, cl, out| scorer.score(t, cl, out),
                 FeasibilityCheck::Enforce,
-                &rec,
+                rec,
             )?
         }
     };
+    drop(group_span);
 
     let make = |members: &[usize]| -> WeightedGroup {
         let mut scounts = vec![0u32; sensitive.len()];
@@ -242,14 +262,47 @@ pub fn anonymize_weighted(
     config: &CahdConfig,
     similarity: WeightedSimilarity,
 ) -> Result<(WeightedPublished, CahdStats), CahdError> {
-    let red = cahd_rcm::reduce_unsymmetric(data.pattern(), cahd_rcm::UnsymOptions::default());
-    let permuted = data.permute(&red.row_perm);
-    let (mut published, stats) = cahd_weighted(&permuted, sensitive, config, similarity)?;
-    for g in &mut published.groups {
-        for m in &mut g.members {
-            *m = red.row_perm.new_to_old(*m as usize) as u32;
+    anonymize_weighted_traced(
+        data,
+        sensitive,
+        config,
+        similarity,
+        &cahd_obs::Recorder::disabled(),
+    )
+}
+
+/// Like [`anonymize_weighted`], recording the full pipeline span taxonomy
+/// (`pipeline`, `pipeline/rcm/*`, `pipeline/permute`, `pipeline/group`,
+/// `pipeline/unpermute`), the `rcm.*`/`sparse.*`/`core.*` metrics of the
+/// phases, and — under a memory-tracking recorder — the `mem.*` gauges
+/// into `rec`. This is what backs `--trace-json`/`--metrics`/`--memory`
+/// on `cahd-cli anonymize-weighted`.
+pub fn anonymize_weighted_traced(
+    data: &WeightedTransactionSet,
+    sensitive: &SensitiveSet,
+    config: &CahdConfig,
+    similarity: WeightedSimilarity,
+    rec: &cahd_obs::Recorder,
+) -> Result<(WeightedPublished, CahdStats), CahdError> {
+    let pipeline_span = rec.span("pipeline");
+    let red =
+        cahd_rcm::reduce_unsymmetric_traced(data.pattern(), cahd_rcm::UnsymOptions::default(), rec);
+    let permuted = {
+        let _s = rec.span("pipeline/permute");
+        data.permute(&red.row_perm)
+    };
+    let (mut published, stats) =
+        cahd_weighted_traced(&permuted, sensitive, config, similarity, rec)?;
+    {
+        let _s = rec.span("pipeline/unpermute");
+        for g in &mut published.groups {
+            for m in &mut g.members {
+                *m = red.row_perm.new_to_old(*m as usize) as u32;
+            }
         }
     }
+    drop(pipeline_span);
+    rec.record_memory_gauges();
     Ok((published, stats))
 }
 

@@ -109,7 +109,7 @@ proptest! {
             // one shard-scan observation per shard.
             prop_assert_eq!(
                 trace.histogram("core.candidate_list_len").map(|h| h.count).unwrap_or(0),
-                trace.counter("core.pivots_scanned").unwrap_or(0),
+                trace.counter_or_zero("core.pivots_scanned"),
                 "threads={}", threads
             );
             if shards >= 2 {
@@ -122,10 +122,10 @@ proptest! {
             }
             // The counter relation the CAHD-O001 pass enforces.
             prop_assert_eq!(
-                trace.counter("core.pivots_scanned").unwrap_or(0),
-                trace.counter("core.groups_formed").unwrap_or(0)
-                    + trace.counter("core.rollbacks").unwrap_or(0)
-                    + trace.counter("core.insufficient_candidates").unwrap_or(0)
+                trace.counter_or_zero("core.pivots_scanned"),
+                trace.counter_or_zero("core.groups_formed")
+                    + trace.counter_or_zero("core.rollbacks")
+                    + trace.counter_or_zero("core.insufficient_candidates")
             );
         }
     }

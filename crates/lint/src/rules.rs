@@ -113,7 +113,7 @@ pub const FAULT_INJECTION_FILES: &[&str] = &["crates/core/src/recovery.rs"];
 pub const INVARIANT_MACRO_FILES: &[&str] = &["crates/core/src/invariant.rs"];
 
 /// Observability namespaces whose recorded names `L005` tracks.
-const OBS_NAMESPACES: &[&str] = &["core", "eval", "rcm", "sparse"];
+const OBS_NAMESPACES: &[&str] = &["core", "eval", "mem", "rcm", "sparse"];
 
 /// Hash-collection iteration methods flagged by `L001`.
 const ITER_METHODS: &[&str] = &[

@@ -21,6 +21,13 @@
 //!   recorder saw, with internal-consistency checks
 //!   ([`TraceReport::consistency_findings`]) that back the `CAHD-O001`
 //!   analysis pass of `cahd-check`.
+//! * [`memtrack`] / [`TrackingAllocator`] — an opt-in global-allocator
+//!   wrapper maintaining process-wide allocation totals. A recorder built
+//!   with [`Recorder::with_memory`] attributes allocation windows to its
+//!   spans and emits a [`MemoryReport`] section whose invariants back the
+//!   `CAHD-O002` memory audit. Without the wrapper installed (every
+//!   library embedder) the capture is inert and reports carry no memory
+//!   section.
 //!
 //! # Determinism contract
 //!
@@ -53,6 +60,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+pub mod memtrack;
+
+pub use memtrack::{MemStats, TrackingAllocator};
 
 /// Number of histogram buckets: bucket `i < 41` counts values
 /// `<= 2^i`; the final bucket counts everything larger (overflow).
@@ -137,9 +148,19 @@ impl Histogram {
     }
 }
 
+/// Per-path aggregation of span memory windows (see [`SpanMemRecord`]).
+#[derive(Clone, Copy, Default)]
+struct SpanMemAgg {
+    count: u64,
+    alloc_bytes: u64,
+    dealloc_bytes: u64,
+    peak_bytes: u64,
+}
+
 #[derive(Default)]
 struct Inner {
     spans: BTreeMap<String, (u64, u64)>, // path -> (count, total_ns)
+    span_mem: BTreeMap<String, SpanMemAgg>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
@@ -154,6 +175,7 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<Inner>>>,
+    mem: bool,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -165,24 +187,51 @@ impl std::fmt::Debug for Recorder {
 }
 
 impl Recorder {
-    /// An enabled recorder with an empty store.
+    /// An enabled recorder with an empty store. Memory capture is off;
+    /// opt in with [`Recorder::with_memory`].
     #[must_use]
     pub fn new() -> Self {
         Recorder {
             inner: Some(Arc::new(Mutex::new(Inner::default()))),
+            mem: false,
         }
     }
 
     /// A recorder that drops every event (the default).
     #[must_use]
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            mem: false,
+        }
+    }
+
+    /// Opts this recorder into memory capture: spans additionally record
+    /// their allocation window and [`Recorder::snapshot`] emits a
+    /// [`MemoryReport`] section.
+    ///
+    /// Capture only takes effect when [`TrackingAllocator`] is the
+    /// process's global allocator (see [`memtrack::is_active`]); on a
+    /// disabled recorder, or in a process using the default allocator,
+    /// this is inert and reports stay byte-identical to a plain recorder's.
+    #[must_use]
+    pub fn with_memory(mut self) -> Self {
+        self.mem = true;
+        self
     }
 
     /// Whether events are being recorded.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether span memory windows are actually being captured: the
+    /// recorder is enabled, opted in via [`Recorder::with_memory`], and
+    /// the tracking allocator is live in this process.
+    #[must_use]
+    pub fn memory_tracking(&self) -> bool {
+        self.mem && self.inner.is_some() && memtrack::is_active()
     }
 
     /// Starts a wall-clock span; the elapsed time is recorded under `path`
@@ -195,18 +244,58 @@ impl Recorder {
             rec: self,
             path,
             start: self.inner.as_ref().map(|_| Instant::now()),
+            mem_start: if self.memory_tracking() {
+                let s = memtrack::stats();
+                Some((s.alloc_bytes, s.dealloc_bytes))
+            } else {
+                None
+            },
         }
     }
 
     /// Records a completed span measured externally (in nanoseconds).
+    /// Carries no memory window — only RAII spans from [`Recorder::span`]
+    /// capture allocation data.
     pub fn record_span_ns(&self, path: &str, ns: u64) {
+        self.record_span(path, ns, None);
+    }
+
+    /// Shared sink for span drops: one lock acquisition records the
+    /// wall-clock observation and, when present, the memory window.
+    fn record_span(&self, path: &str, ns: u64, mem: Option<(u64, u64, u64)>) {
         if let Some(inner) = &self.inner {
             // cahd-lint: allow(L003, reason = "recorder methods never panic while holding the lock; poisoning implies a foreign panic worth re-surfacing")
             let mut g = inner.lock().expect("obs recorder poisoned");
             let e = g.spans.entry(path.to_string()).or_insert((0, 0));
             e.0 += 1;
             e.1 = e.1.saturating_add(ns);
+            if let Some((alloc_bytes, dealloc_bytes, peak_bytes)) = mem {
+                let m = g.span_mem.entry(path.to_string()).or_default();
+                m.count += 1;
+                m.alloc_bytes = m.alloc_bytes.saturating_add(alloc_bytes);
+                m.dealloc_bytes = m.dealloc_bytes.saturating_add(dealloc_bytes);
+                m.peak_bytes = m.peak_bytes.max(peak_bytes);
+            }
         }
+    }
+
+    /// Records the six `mem.*` gauges from the current allocator totals
+    /// (see [`memtrack::stats`]). A no-op unless
+    /// [`Recorder::memory_tracking`] — pipelines call this unconditionally
+    /// at phase end and embedders without the tracking allocator see
+    /// nothing. Gauges are the right home: allocator totals are
+    /// scheduling-dependent by nature.
+    pub fn record_memory_gauges(&self) {
+        if !self.memory_tracking() {
+            return;
+        }
+        let s = memtrack::stats();
+        self.gauge("mem.alloc_bytes", s.alloc_bytes as f64);
+        self.gauge("mem.dealloc_bytes", s.dealloc_bytes as f64);
+        self.gauge("mem.allocs", s.allocs as f64);
+        self.gauge("mem.deallocs", s.deallocs as f64);
+        self.gauge("mem.live_bytes", s.live_bytes as f64);
+        self.gauge("mem.peak_bytes", s.peak_bytes as f64);
     }
 
     /// Adds `n` to the monotonic counter `name`.
@@ -287,6 +376,13 @@ impl Recorder {
             e.0 += count;
             e.1 = e.1.saturating_add(ns);
         }
+        for (path, m) in &o.span_mem {
+            let e = g.span_mem.entry(path.clone()).or_default();
+            e.count += m.count;
+            e.alloc_bytes = e.alloc_bytes.saturating_add(m.alloc_bytes);
+            e.dealloc_bytes = e.dealloc_bytes.saturating_add(m.dealloc_bytes);
+            e.peak_bytes = e.peak_bytes.max(m.peak_bytes);
+        }
         for (name, &v) in &o.counters {
             *g.counters.entry(name.clone()).or_insert(0) += v;
         }
@@ -311,7 +407,34 @@ impl Recorder {
         };
         // cahd-lint: allow(L003, reason = "recorder methods never panic while holding the lock; poisoning implies a foreign panic worth re-surfacing")
         let g = inner.lock().expect("obs recorder poisoned");
+        let memory = if self.mem && memtrack::is_active() {
+            let s = memtrack::stats();
+            Some(MemoryReport {
+                totals: MemTotals {
+                    alloc_bytes: s.alloc_bytes,
+                    dealloc_bytes: s.dealloc_bytes,
+                    allocs: s.allocs,
+                    deallocs: s.deallocs,
+                    live_bytes: s.live_bytes,
+                    peak_bytes: s.peak_bytes,
+                },
+                spans: g
+                    .span_mem
+                    .iter()
+                    .map(|(path, m)| SpanMemRecord {
+                        path: path.clone(),
+                        count: m.count,
+                        alloc_bytes: m.alloc_bytes,
+                        dealloc_bytes: m.dealloc_bytes,
+                        peak_bytes: m.peak_bytes,
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
         TraceReport {
+            memory,
             spans: g
                 .spans
                 .iter()
@@ -354,18 +477,31 @@ impl Recorder {
 /// RAII wall-clock timer returned by [`Recorder::span`].
 ///
 /// The guard records on drop; `start` is only taken when the recorder is
-/// enabled, so a disabled span never reads the clock.
+/// enabled, so a disabled span never reads the clock. When the recorder
+/// is [memory-tracking](Recorder::memory_tracking), the guard also
+/// captures the allocator totals at open and records the window's
+/// alloc/dealloc deltas plus the process peak at close (see
+/// [`SpanMemRecord`] for the exact semantics).
 pub struct Span<'a> {
     rec: &'a Recorder,
     path: &'static str,
     start: Option<Instant>,
+    mem_start: Option<(u64, u64)>,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            self.rec.record_span_ns(self.path, ns);
+            let mem = self.mem_start.map(|(alloc0, dealloc0)| {
+                let s = memtrack::stats();
+                (
+                    s.alloc_bytes.saturating_sub(alloc0),
+                    s.dealloc_bytes.saturating_sub(dealloc0),
+                    s.peak_bytes,
+                )
+            });
+            self.rec.record_span(self.path, ns, mem);
         }
     }
 }
@@ -412,6 +548,62 @@ pub struct HistogramRecord {
     pub buckets: Vec<u64>,
 }
 
+/// Process-lifetime allocator totals at snapshot time (mirrors
+/// [`memtrack::MemStats`] in serializable form).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTotals {
+    /// Cumulative bytes allocated since process start.
+    pub alloc_bytes: u64,
+    /// Cumulative bytes freed since process start.
+    pub dealloc_bytes: u64,
+    /// Cumulative allocation count.
+    pub allocs: u64,
+    /// Cumulative deallocation count.
+    pub deallocs: u64,
+    /// Bytes live at snapshot (`alloc_bytes - dealloc_bytes`).
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+}
+
+/// Aggregated allocation windows of one span path.
+///
+/// `alloc_bytes`/`dealloc_bytes` sum the *window deltas* of the monotonic
+/// process totals over every execution of the path — so a span's dealloc
+/// may legitimately exceed its alloc (it freed buffers built outside its
+/// window); the `dealloc <= alloc` invariant belongs to [`MemTotals`]
+/// only. `peak_bytes` is the process high-water mark observed at window
+/// *close* (max across executions), which is monotone in time: it names
+/// the phase during-or-before which the peak occurred, and a child's
+/// value can never exceed its parent's.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanMemRecord {
+    /// `/`-separated span path, e.g. `pipeline/rcm`.
+    pub path: String,
+    /// Number of windows aggregated (executions with memory capture on).
+    pub count: u64,
+    /// Summed per-window allocated-byte deltas.
+    pub alloc_bytes: u64,
+    /// Summed per-window freed-byte deltas.
+    pub dealloc_bytes: u64,
+    /// Max process peak observed at window close.
+    pub peak_bytes: u64,
+}
+
+/// The memory section of a [`TraceReport`]: allocator totals plus
+/// per-span attribution. Present only when the emitting process ran the
+/// [`TrackingAllocator`] and the recorder opted in via
+/// [`Recorder::with_memory`]. All values are scheduling-dependent (a
+/// concurrent thread's allocations land in whatever windows are open) —
+/// the same caveat as gauges, see `docs/OBSERVABILITY.md`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Process-lifetime allocator totals at snapshot time.
+    pub totals: MemTotals,
+    /// Per-span windows, sorted by path.
+    pub spans: Vec<SpanMemRecord>,
+}
+
 /// A serializable snapshot of one traced run. Every section is sorted by
 /// name/path; see `docs/OBSERVABILITY.md` for the span taxonomy and the
 /// counter glossary.
@@ -426,6 +618,128 @@ pub struct TraceReport {
     pub gauges: Vec<GaugeRecord>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramRecord>,
+    /// Allocator totals and per-span memory attribution; `None` unless
+    /// the run opted in (see [`MemoryReport`]).
+    pub memory: Option<MemoryReport>,
+}
+
+impl MemoryReport {
+    /// The aggregated memory window at span `path`, if recorded.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanMemRecord> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Direct children of span `path` (one `/` segment deeper).
+    #[must_use]
+    pub fn span_children(&self, path: &str) -> Vec<&SpanMemRecord> {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.path.len() > path.len()
+                    && s.path.starts_with(path)
+                    && s.path.as_bytes()[path.len()] == b'/'
+                    && !s.path[path.len() + 1..].contains('/')
+            })
+            .collect()
+    }
+
+    /// Internal-consistency findings of the memory section, empty when it
+    /// is coherent. Backs the `CAHD-O002` pass of `cahd-check`:
+    ///
+    /// * totals are monotone-consistent: `dealloc_bytes <= alloc_bytes`,
+    ///   `deallocs <= allocs`, `live_bytes == alloc_bytes - dealloc_bytes`
+    ///   and `peak_bytes >= live_bytes` at snapshot;
+    /// * span paths are strictly sorted, every window executed at least
+    ///   once, and no span's alloc/dealloc/peak exceeds the corresponding
+    ///   process total;
+    /// * child windows are bounded by their parent: direct children are
+    ///   disjoint sub-windows, so their summed alloc (and dealloc) deltas
+    ///   fit inside the parent's, and each child's close-time peak is at
+    ///   most the parent's (the peak reading is monotone in time). As with
+    ///   wall-clock nesting, a span whose parent path is absent counts as
+    ///   the root of a partial trace.
+    #[must_use]
+    pub fn consistency_findings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        check_sorted_unique(
+            self.spans.iter().map(|s| s.path.as_str()),
+            "memory spans",
+            &mut out,
+        );
+        let t = &self.totals;
+        if t.dealloc_bytes > t.alloc_bytes {
+            out.push(format!(
+                "memory totals freed {} bytes but only {} were allocated",
+                t.dealloc_bytes, t.alloc_bytes
+            ));
+        } else if t.live_bytes != t.alloc_bytes - t.dealloc_bytes {
+            out.push(format!(
+                "memory totals live {} bytes, expected alloc - dealloc = {}",
+                t.live_bytes,
+                t.alloc_bytes - t.dealloc_bytes
+            ));
+        }
+        if t.deallocs > t.allocs {
+            out.push(format!(
+                "memory totals count {} deallocations but only {} allocations",
+                t.deallocs, t.allocs
+            ));
+        }
+        if t.peak_bytes < t.live_bytes {
+            out.push(format!(
+                "memory totals peak {} bytes is below the live {} bytes",
+                t.peak_bytes, t.live_bytes
+            ));
+        }
+        for s in &self.spans {
+            if s.count == 0 {
+                out.push(format!("memory span `{}` recorded zero windows", s.path));
+            }
+            if s.alloc_bytes > t.alloc_bytes {
+                out.push(format!(
+                    "memory span `{}` allocated {} bytes, exceeding the process total {}",
+                    s.path, s.alloc_bytes, t.alloc_bytes
+                ));
+            }
+            if s.dealloc_bytes > t.dealloc_bytes {
+                out.push(format!(
+                    "memory span `{}` freed {} bytes, exceeding the process total {}",
+                    s.path, s.dealloc_bytes, t.dealloc_bytes
+                ));
+            }
+            if s.peak_bytes > t.peak_bytes {
+                out.push(format!(
+                    "memory span `{}` saw peak {} bytes, exceeding the process peak {}",
+                    s.path, s.peak_bytes, t.peak_bytes
+                ));
+            }
+            let children = self.span_children(&s.path);
+            let child_alloc: u64 = children.iter().map(|c| c.alloc_bytes).sum();
+            let child_dealloc: u64 = children.iter().map(|c| c.dealloc_bytes).sum();
+            if child_alloc > s.alloc_bytes {
+                out.push(format!(
+                    "children of memory span `{}` allocated {child_alloc} bytes, exceeding the parent's {}",
+                    s.path, s.alloc_bytes
+                ));
+            }
+            if child_dealloc > s.dealloc_bytes {
+                out.push(format!(
+                    "children of memory span `{}` freed {child_dealloc} bytes, exceeding the parent's {}",
+                    s.path, s.dealloc_bytes
+                ));
+            }
+            for c in children {
+                if c.peak_bytes > s.peak_bytes {
+                    out.push(format!(
+                        "memory span `{}` saw peak {} bytes, exceeding its parent `{}`'s {}",
+                        c.path, c.peak_bytes, s.path, s.peak_bytes
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl TraceReport {
@@ -436,6 +750,14 @@ impl TraceReport {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// The value of counter `name`, or 0 when it was never recorded — the
+    /// natural reading for monotonic counters, where "absent" and "never
+    /// incremented" coincide.
+    #[must_use]
+    pub fn counter_or_zero(&self, name: &str) -> u64 {
+        self.counter(name).unwrap_or(0)
     }
 
     /// The gauge `name`, if recorded.
@@ -616,7 +938,49 @@ impl TraceReport {
                 ));
             }
         }
+        if let Some(m) = &self.memory {
+            let t = &m.totals;
+            out.push_str("memory (tracking allocator; scheduling-dependent):\n");
+            out.push_str(&format!(
+                "  totals: alloc {} in {} allocs, freed {}, live {}, peak {}\n",
+                fmt_bytes(t.alloc_bytes),
+                t.allocs,
+                fmt_bytes(t.dealloc_bytes),
+                fmt_bytes(t.live_bytes),
+                fmt_bytes(t.peak_bytes),
+            ));
+            for s in &m.spans {
+                let depth = s.path.matches('/').count();
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let net = i128::from(s.alloc_bytes) - i128::from(s.dealloc_bytes);
+                let sign = if net < 0 { "-" } else { "+" };
+                out.push_str(&format!(
+                    "  {:indent$}{name:<24} alloc {:>10}  net {sign}{:>9}  peak@close {:>10}  x{}\n",
+                    "",
+                    fmt_bytes(s.alloc_bytes),
+                    fmt_bytes(net.unsigned_abs().try_into().unwrap_or(u64::MAX)),
+                    fmt_bytes(s.peak_bytes),
+                    s.count,
+                    indent = depth * 2,
+                ));
+            }
+        }
         out
+    }
+}
+
+/// Human-readable byte count (`1.5 MiB`-style, exact below 1 KiB).
+fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let bf = b as f64;
+    if bf >= KIB * KIB * KIB {
+        format!("{:.2} GiB", bf / (KIB * KIB * KIB))
+    } else if bf >= KIB * KIB {
+        format!("{:.2} MiB", bf / (KIB * KIB))
+    } else if bf >= KIB {
+        format!("{:.1} KiB", bf / KIB)
+    } else {
+        format!("{b} B")
     }
 }
 
@@ -784,6 +1148,155 @@ mod tests {
             findings2.iter().any(|f| f.contains("exceeds the maximum")),
             "{findings2:?}"
         );
+    }
+
+    #[test]
+    fn counter_or_zero_defaults_missing_counters() {
+        let rec = Recorder::new();
+        rec.add("present", 3);
+        let report = rec.snapshot();
+        assert_eq!(report.counter_or_zero("present"), 3);
+        assert_eq!(report.counter_or_zero("absent"), 0);
+        assert_eq!(Recorder::disabled().snapshot().counter_or_zero("x"), 0);
+    }
+
+    #[test]
+    fn memory_capture_is_inert_without_the_allocator() {
+        // The lib test binary does not register `TrackingAllocator`, so
+        // even an opted-in recorder must emit no memory section and its
+        // report must be byte-identical to a plain recorder's.
+        assert!(!memtrack::is_active());
+        let rec = Recorder::new().with_memory();
+        assert!(!rec.memory_tracking());
+        {
+            let _s = rec.span("pipeline");
+            rec.add("c", 1);
+        }
+        rec.record_memory_gauges();
+        let report = rec.snapshot();
+        assert!(report.memory.is_none());
+        let plain = Recorder::new();
+        {
+            let _s = plain.span("pipeline");
+            plain.add("c", 1);
+        }
+        let plain_report = plain.snapshot();
+        assert!(plain_report.memory.is_none());
+        // Identical shape (wall-clock aside): same spans, no gauges.
+        assert_eq!(report.spans.len(), plain_report.spans.len());
+        assert_eq!(report.spans[0].path, plain_report.spans[0].path);
+        assert_eq!(report.gauges, plain_report.gauges);
+        assert!(report.gauges.is_empty());
+    }
+
+    /// A small coherent memory section: a parent window with two children
+    /// plus unattributed slack at every level.
+    fn sample_memory() -> MemoryReport {
+        MemoryReport {
+            totals: MemTotals {
+                alloc_bytes: 10_000,
+                dealloc_bytes: 9_000,
+                allocs: 120,
+                deallocs: 110,
+                live_bytes: 1_000,
+                peak_bytes: 6_000,
+            },
+            spans: vec![
+                SpanMemRecord {
+                    path: "pipeline".into(),
+                    count: 1,
+                    alloc_bytes: 8_000,
+                    dealloc_bytes: 7_500,
+                    peak_bytes: 5_500,
+                },
+                SpanMemRecord {
+                    path: "pipeline/group".into(),
+                    count: 2,
+                    alloc_bytes: 3_000,
+                    dealloc_bytes: 2_800,
+                    peak_bytes: 5_500,
+                },
+                SpanMemRecord {
+                    path: "pipeline/rcm".into(),
+                    count: 1,
+                    alloc_bytes: 4_000,
+                    dealloc_bytes: 4_200,
+                    peak_bytes: 4_800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn memory_findings_accept_coherent_sections() {
+        let mem = sample_memory();
+        assert!(mem.consistency_findings().is_empty());
+        // Per-span dealloc may exceed its alloc (pipeline/rcm frees
+        // buffers built outside its window) — that is *not* a finding.
+        assert!(mem.span("pipeline/rcm").unwrap().dealloc_bytes > 4_000);
+        assert_eq!(mem.span_children("pipeline").len(), 2);
+    }
+
+    type Tamper = Box<dyn Fn(&mut MemoryReport)>;
+
+    #[test]
+    fn memory_findings_flag_tampering() {
+        let tamper: [(&str, Tamper); 6] = [
+            ("freed", Box::new(|m| m.totals.dealloc_bytes = 20_000)),
+            ("live", Box::new(|m| m.totals.live_bytes = 42)),
+            ("peak", Box::new(|m| m.totals.peak_bytes = 500)),
+            (
+                "exceeding the process total",
+                Box::new(|m| m.spans[1].alloc_bytes = 50_000),
+            ),
+            (
+                "children of memory span",
+                Box::new(|m| m.spans[0].alloc_bytes = 6_000),
+            ),
+            (
+                "exceeding its parent",
+                Box::new(|m| m.spans[2].peak_bytes = 5_600),
+            ),
+        ];
+        for (needle, mutate) in tamper {
+            let mut mem = sample_memory();
+            mutate(&mut mem);
+            let findings = mem.consistency_findings();
+            assert!(
+                findings.iter().any(|f| f.contains(needle)),
+                "tamper `{needle}` not flagged: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_section_roundtrips_through_serde_shim() {
+        let report = TraceReport {
+            spans: vec![SpanRecord {
+                path: "pipeline".into(),
+                count: 1,
+                total_ns: 10,
+            }],
+            memory: Some(sample_memory()),
+            ..TraceReport::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn render_human_shows_memory_section() {
+        let report = TraceReport {
+            memory: Some(sample_memory()),
+            ..TraceReport::default()
+        };
+        let text = report.render_human();
+        assert!(text.contains("memory (tracking allocator"), "{text}");
+        assert!(text.contains("peak@close"), "{text}");
+        assert!(text.contains("rcm"), "{text}");
+        // Reports without the section render no memory block.
+        assert!(!TraceReport::default().render_human().contains("memory"));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Process-wide allocation tracking behind the memory sections of
+//! [`crate::TraceReport`].
+//!
+//! [`TrackingAllocator`] wraps [`std::alloc::System`] and maintains five
+//! relaxed atomics: cumulative allocated/freed bytes, allocation and
+//! deallocation counts, and the high-water mark of live bytes. Binaries
+//! opt in by registering it as the global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cahd_obs::TrackingAllocator = cahd_obs::TrackingAllocator::new();
+//! ```
+//!
+//! Library code never registers it, so `cahd-obs` stays dependency-free
+//! and zero-cost for embedders: every reader below checks
+//! [`is_active`] (any allocation observed at all) and degrades to "no
+//! data" when the wrapper is not installed.
+//!
+//! # Accounting model
+//!
+//! * `alloc_bytes` / `dealloc_bytes` and `allocs` / `deallocs` are
+//!   **monotonic, process-lifetime totals** — `dealloc_* <= alloc_*`
+//!   always holds, which is what makes window deltas over them
+//!   well-defined under concurrency.
+//! * `live_bytes` is derived as `alloc_bytes - dealloc_bytes` at read
+//!   time; `peak_bytes` is its high-water mark, updated on every
+//!   allocation with a relaxed `fetch_max`.
+//! * All counters use `Ordering::Relaxed`: the numbers are observability
+//!   data, not synchronization, and the allocator hot path must stay a
+//!   handful of uncontended atomic ops.
+//!
+//! Everything here is scheduling-dependent by nature (another thread's
+//! allocations land in whatever window is open), so trace consumers get
+//! these numbers under the same caveat as gauges — see the determinism
+//! contract in the crate docs and `docs/OBSERVABILITY.md`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed global allocator that counts every allocation.
+///
+/// See the module docs for the accounting model and the registration
+/// snippet. The wrapper adds two relaxed atomic RMWs per `alloc`/`dealloc`
+/// (plus a `fetch_max` for the peak on allocation) and delegates the
+/// actual memory management to [`System`] untouched.
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    /// Creates the allocator (`const`, so it can initialize the
+    /// `#[global_allocator]` static).
+    #[must_use]
+    pub const fn new() -> Self {
+        TrackingAllocator
+    }
+}
+
+impl Default for TrackingAllocator {
+    fn default() -> Self {
+        TrackingAllocator::new()
+    }
+}
+
+fn on_alloc(bytes: u64) {
+    ALLOCS.fetch_add(1, Relaxed);
+    let allocated = ALLOC_BYTES.fetch_add(bytes, Relaxed).saturating_add(bytes);
+    let freed = DEALLOC_BYTES.load(Relaxed);
+    PEAK_BYTES.fetch_max(allocated.saturating_sub(freed), Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    DEALLOCS.fetch_add(1, Relaxed);
+    DEALLOC_BYTES.fetch_add(bytes, Relaxed);
+}
+
+// The one place in the workspace where `unsafe` is structurally
+// unavoidable: `GlobalAlloc` is an unsafe trait. The impl adds no unsafe
+// operations of its own beyond delegating to `System` with the caller's
+// (already trusted) layout contract.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Accounted as free-then-alloc so the monotonic totals keep
+            // their `dealloc <= alloc` invariant and the live-byte delta
+            // is exactly `new_size - old_size`.
+            on_alloc(new_size as u64);
+            on_dealloc(layout.size() as u64);
+        }
+        new_ptr
+    }
+}
+
+/// One coherent reading of the allocator counters.
+///
+/// `live_bytes` and `peak_bytes` are derived at read time so that
+/// `live_bytes == alloc_bytes - dealloc_bytes` and
+/// `peak_bytes >= live_bytes` hold *within* a single `MemStats` value
+/// even while other threads allocate concurrently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Cumulative bytes allocated since process start.
+    pub alloc_bytes: u64,
+    /// Cumulative bytes freed since process start.
+    pub dealloc_bytes: u64,
+    /// Cumulative allocation count.
+    pub allocs: u64,
+    /// Cumulative deallocation count.
+    pub deallocs: u64,
+    /// Bytes currently live (`alloc_bytes - dealloc_bytes`).
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+}
+
+/// Reads the current allocator counters. All zeros when
+/// [`TrackingAllocator`] is not the process's global allocator.
+#[must_use]
+pub fn stats() -> MemStats {
+    // Relaxed loads in dealloc-before-alloc order: any deallocated byte
+    // was counted as allocated first, so reading the dealloc side first
+    // keeps `dealloc_bytes <= alloc_bytes` in the returned value.
+    let dealloc_bytes = DEALLOC_BYTES.load(Relaxed);
+    let deallocs = DEALLOCS.load(Relaxed);
+    let alloc_bytes = ALLOC_BYTES.load(Relaxed).max(dealloc_bytes);
+    let allocs = ALLOCS.load(Relaxed).max(deallocs);
+    let live_bytes = alloc_bytes - dealloc_bytes;
+    MemStats {
+        alloc_bytes,
+        dealloc_bytes,
+        allocs,
+        deallocs,
+        live_bytes,
+        peak_bytes: PEAK_BYTES.load(Relaxed).max(live_bytes),
+    }
+}
+
+/// Whether the tracking allocator is installed and has observed at least
+/// one allocation. Any running binary allocates almost immediately, so
+/// this doubles as the "is the wrapper registered at all" probe that
+/// keeps the recorder's memory capture inert in processes that use the
+/// default allocator.
+#[must_use]
+pub fn is_active() -> bool {
+    ALLOCS.load(Relaxed) > 0
+}
+
+/// Resets the peak high-water mark to the current live-byte count.
+///
+/// For harnesses that measure several workloads in one process (the
+/// perf-snapshot emitter): without a reset the peak is monotone over the
+/// process lifetime and every entry after the largest one reads the same
+/// number. Call only between measurement windows — resetting while a
+/// memory-tracking span is open can make that span's recorded peak
+/// non-monotone against its parent, which the `CAHD-O002` audit flags.
+pub fn reset_peak() {
+    let live = ALLOC_BYTES
+        .load(Relaxed)
+        .saturating_sub(DEALLOC_BYTES.load(Relaxed));
+    PEAK_BYTES.store(live, Relaxed);
+}

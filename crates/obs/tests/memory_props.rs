@@ -1,0 +1,100 @@
+//! Property tests for the `memory` section of `TraceReport`.
+//!
+//! Sections are built *constructively* (child windows summed into a
+//! parent, slack added at every level) rather than through a live
+//! `TrackingAllocator` — this binary deliberately runs on the default
+//! allocator so the generators themselves cannot disturb the data. The
+//! properties pin three things: coherent sections produce no findings,
+//! every class of corruption produces one, and real sections survive the
+//! vendored serde shim byte-for-byte.
+
+use cahd_obs::{MemTotals, MemoryReport, SpanMemRecord, TraceReport};
+use proptest::prelude::*;
+
+/// A coherent memory section built bottom-up: `k` child windows under
+/// `pipeline`, with unattributed slack (`pads`) at the parent and totals
+/// levels so the inequalities are not accidentally tight.
+fn arb_memory() -> impl Strategy<Value = MemoryReport> {
+    (
+        proptest::collection::vec((0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 24, 1u64..4), 1..5),
+        (0u64..1 << 16, 0u64..1 << 16, 0u64..1 << 16, 0u64..1 << 16),
+    )
+        .prop_map(
+            |(children, (pad_alloc, pad_dealloc, pad_total, pad_peak))| {
+                let child_alloc: u64 = children.iter().map(|c| c.0).sum();
+                let child_dealloc: u64 = children.iter().map(|c| c.1).sum();
+                let child_peak: u64 = children.iter().map(|c| c.2).max().unwrap_or(0);
+                let parent_alloc = child_alloc + pad_alloc;
+                let parent_dealloc = child_dealloc + pad_dealloc;
+                let total_dealloc = parent_dealloc;
+                let total_alloc = parent_alloc.max(total_dealloc) + pad_total;
+                let live = total_alloc - total_dealloc;
+                let total_peak = child_peak.max(live) + pad_peak;
+                let mut spans = vec![SpanMemRecord {
+                    path: "pipeline".to_string(),
+                    count: 1,
+                    alloc_bytes: parent_alloc,
+                    dealloc_bytes: parent_dealloc,
+                    peak_bytes: total_peak.min(child_peak.max(live)),
+                }];
+                for (i, (a, d, p, count)) in children.iter().enumerate() {
+                    spans.push(SpanMemRecord {
+                        path: format!("pipeline/s{i}"),
+                        count: *count,
+                        alloc_bytes: *a,
+                        dealloc_bytes: *d,
+                        peak_bytes: (*p).min(spans[0].peak_bytes),
+                    });
+                }
+                MemoryReport {
+                    totals: MemTotals {
+                        alloc_bytes: total_alloc,
+                        dealloc_bytes: total_dealloc,
+                        allocs: total_alloc / 8 + 1,
+                        deallocs: total_dealloc / 16,
+                        live_bytes: live,
+                        peak_bytes: total_peak,
+                    },
+                    spans,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn coherent_sections_produce_no_findings(mem in arb_memory()) {
+        let findings = mem.consistency_findings();
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn memory_sections_roundtrip_through_serde(mem in arb_memory()) {
+        let report = TraceReport { memory: Some(mem), ..TraceReport::default() };
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: TraceReport = serde_json::from_str(&json).expect("re-parses");
+        prop_assert_eq!(report, back);
+    }
+
+    #[test]
+    fn every_corruption_class_is_flagged(mem in arb_memory(), class in 0usize..5) {
+        let mut m = mem;
+        let ok = match class {
+            // Freed more bytes than were ever allocated.
+            0 => { m.totals.dealloc_bytes = m.totals.alloc_bytes + 1; true }
+            // Live bytes disagree with the monotone totals.
+            1 => { m.totals.live_bytes = m.totals.live_bytes.wrapping_add(1); true }
+            // Peak below the live bytes at snapshot.
+            2 => {
+                if m.totals.live_bytes == 0 { false } else { m.totals.peak_bytes = m.totals.live_bytes - 1; true }
+            }
+            // A child window out-allocating its parent.
+            3 => { m.spans[0].alloc_bytes = m.spans[1..].iter().map(|s| s.alloc_bytes).sum::<u64>().wrapping_sub(1); true }
+            // A span out-peaking the process.
+            _ => { m.spans[0].peak_bytes = m.totals.peak_bytes + 1; true }
+        };
+        prop_assume!(ok);
+        let findings = m.consistency_findings();
+        prop_assert!(!findings.is_empty(), "corruption class {class} undetected: {m:?}");
+    }
+}

@@ -839,7 +839,7 @@ mod tests {
                 let rec = Recorder::new();
                 band_order_with(&g, OrderingStrategy::Rcm, threads, 2, &rec);
                 let report = rec.snapshot();
-                let counter = |c: &str| report.counter(c).unwrap_or(0);
+                let counter = |c: &str| report.counter_or_zero(c);
                 assert_eq!(
                     counter("rcm.frontier_parallel") + counter("rcm.frontier_sequential"),
                     counter("rcm.levels"),

@@ -187,7 +187,7 @@ proptest! {
                 let rec = Recorder::new();
                 band_order_with(&g, strategy, threads, 2, &rec);
                 let report = rec.snapshot();
-                let counter = |c: &str| report.counter(c).unwrap_or(0);
+                let counter = |c: &str| report.counter_or_zero(c);
                 let tuple = (
                     counter("rcm.components"),
                     counter("rcm.bfs_levels"),
