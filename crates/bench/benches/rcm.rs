@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cahd_data::profiles;
 use cahd_rcm::{
-    reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear, AatMethod,
-    UnsymOptions,
+    band_order_seq, reduce_unsymmetric, reverse_cuthill_mckee, reverse_cuthill_mckee_linear,
+    AatMethod, OrderingStrategy, UnsymOptions,
 };
 use cahd_sparse::RowGraph;
 
@@ -40,13 +40,13 @@ fn bench_explicit_vs_implicit(c: &mut Criterion) {
     g.bench_function("explicit", |b| {
         b.iter(|| {
             let graph = RowGraph::build(data.matrix(), usize::MAX);
-            reverse_cuthill_mckee(&graph)
+            band_order_seq(&graph, OrderingStrategy::Rcm)
         });
     });
     g.bench_function("implicit", |b| {
         b.iter(|| {
             let graph = RowGraph::build(data.matrix(), 0);
-            reverse_cuthill_mckee(&graph)
+            band_order_seq(&graph, OrderingStrategy::Rcm)
         });
     });
     g.finish();

@@ -89,11 +89,14 @@ fn run_entry(
     seed: u64,
     ordering: OrderingStrategy,
     ordering_threads: usize,
+    hub_cap: Option<u32>,
 ) -> SnapshotEntry {
     let mut rng = StdRng::seed_from_u64(seed);
     let sensitive = SensitiveSet::select_random(data, 4, p, &mut rng)
         .expect("reference profiles admit 4 sensitive items");
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering);
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p)
+        .with_ordering(ordering)
+        .with_hub_cap(hub_cap);
     cfg.cahd = cfg.cahd.with_alpha(alpha);
     if shards > 1 {
         cfg = cfg.with_parallel(ParallelConfig::new(shards, 2));
@@ -193,6 +196,7 @@ pub fn collect_filtered(quick: bool, seed: u64, only: Option<&str>) -> PerfSnaps
                 seed,
                 OrderingStrategy::Rcm,
                 1,
+                None,
             ));
         }
     }
@@ -208,7 +212,36 @@ pub fn collect_filtered(quick: bool, seed: u64, only: Option<&str>) -> PerfSnaps
             if !keep(&name) {
                 continue;
             }
-            entries.push(run_entry(&name, &bms1, 4, 3, 1, seed, strategy, threads));
+            entries.push(run_entry(
+                &name, &bms1, 4, 3, 1, seed, strategy, threads, None,
+            ));
+        }
+    }
+    // Million-row implicit-ordering workload, full mode only (quick CI
+    // snapshots must stay seconds-cheap). One entry, rcm at 8 ordering
+    // threads, no hub cap: the profile whose explicit `A x A^T` is out
+    // of reach rides the inverted index, whose segment-deduplicated
+    // traversals keep every sweep at O(nnz) — only the one-shot exact
+    // degree pass pays sum(support^2). The rcm_ms column tracks the
+    // "orders a million rows in single-digit seconds" contract, with no
+    // quality tradeoff (see crates/bench/tests/questxl_scale.rs to
+    // remeasure, capped or uncapped). Generated lazily so `--only`
+    // filters skip the million-row synthesis too.
+    if !quick {
+        let name = "questxl/p4/ord-rcm-t8";
+        if keep(name) {
+            let questxl = profiles::quest_xl_like(scale, seed);
+            entries.push(run_entry(
+                name,
+                &questxl,
+                4,
+                3,
+                1,
+                seed,
+                OrderingStrategy::Rcm,
+                8,
+                None,
+            ));
         }
     }
     PerfSnapshot {

@@ -23,7 +23,7 @@
 
 use cahd_bench::runs::{kl_of, prepare, run_cahd, select_sensitive, PreparedDataset};
 use cahd_data::profiles;
-use cahd_rcm::{OrderingStrategy, UnsymOptions};
+use cahd_rcm::{OrderingStrategy, RowGraphMode, UnsymOptions};
 
 const SEED: u64 = 42;
 const SCALE: f64 = 0.02;
@@ -104,6 +104,65 @@ fn end_to_end_kl_regression_is_bounded() {
     assert!(
         kl_cluster <= budget,
         "cluster KL {kl_cluster:.4} exceeds budget {budget:.4} (rcm {kl_rcm:.4})"
+    );
+}
+
+/// The hub-capped implicit variant is quality-budgeted exactly like
+/// bfs/cluster: skipping the most frequent items during neighbor
+/// enumeration kills the k² clique blow-up, and on this fixture it may
+/// cost at most 25% of RCM's band quality and the shared KL budget.
+#[test]
+fn hub_capped_implicit_stays_within_quality_budget() {
+    if OrderingStrategy::from_env().is_some()
+        || std::env::var_os("CAHD_ROWGRAPH").is_some()
+        || std::env::var_os("CAHD_HUB_CAP").is_some()
+    {
+        eprintln!("ordering/rowgraph env override set: skipping hub-cap comparison");
+        return;
+    }
+    let rcm = prepared(OrderingStrategy::Rcm);
+    // Cap at the 95th-percentile item support so the tail of genuinely
+    // frequent items is skipped — the regime the flag exists for.
+    let mut supports: Vec<usize> = rcm
+        .data
+        .matrix()
+        .col_counts()
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
+    supports.sort_unstable();
+    let cap = supports[supports.len() * 95 / 100] as u32;
+    let n_hubs = supports.iter().filter(|&&c| c > cap as usize).count();
+    assert!(n_hubs > 0, "fixture has no items above the cap {cap}");
+    let capped = {
+        let data = profiles::bms1_like(SCALE, SEED);
+        prepare(
+            data,
+            UnsymOptions {
+                ordering: OrderingStrategy::Rcm,
+                rowgraph: RowGraphMode::Implicit,
+                hub_cap: Some(cap),
+                ..UnsymOptions::default()
+            },
+        )
+    };
+    assert!(!capped.band.used_explicit_aat);
+    // Band budget: same 1.25x allowance the alternative strategies get.
+    let budget = (rcm.band.after.max_diag_distance as f64 * 1.25) as usize;
+    assert!(
+        capped.band.after.max_diag_distance <= budget,
+        "hub-capped bandwidth {} exceeds 1.25x rcm ({}) at cap {cap} ({n_hubs} hubs)",
+        capped.band.after.max_diag_distance,
+        rcm.band.after.max_diag_distance
+    );
+    // End-to-end KL budget: shared with bfs/cluster.
+    let kl_rcm = mean_kl(&rcm);
+    let kl_capped = mean_kl(&capped);
+    let kl_budget = (kl_rcm * 1.5).max(kl_rcm + 0.05);
+    eprintln!("mean KL: rcm={kl_rcm:.4} hub-capped={kl_capped:.4} (cap {cap}, {n_hubs} hubs)");
+    assert!(
+        kl_capped <= kl_budget,
+        "hub-capped KL {kl_capped:.4} exceeds budget {kl_budget:.4} (rcm {kl_rcm:.4})"
     );
 }
 

@@ -420,7 +420,16 @@ impl Pass for BandQuality {
 ///   and the total frontier count covers at least the Cuthill-McKee
 ///   BFS levels: `rcm.levels >= rcm.bfs_levels`). The frontier split is
 ///   decided by *eligibility* (frontier width), never by the actual
-///   thread count, so these identities hold for any `--threads`.
+///   thread count, so these identities hold for any `--threads`. The
+///   implicit row-graph counters account for every nonzero exactly once:
+///   `sparse.implicit_postings + sparse.implicit_capped_postings` never
+///   exceeds the recorded `sparse.aat_nnz`, any `sparse.implicit_*`
+///   activity implies `sparse.implicit_builds >= 1`, and capped postings
+///   and hub items appear together (`sparse.implicit_capped_postings >=
+///   sparse.implicit_hub_items`, each zero iff the other is). Like the
+///   frontier split, the implicit counters depend only on the matrix and
+///   the hub cap — never on `--threads` or `--rowgraph` scheduling
+///   details.
 ///
 /// A missing counter reads as zero (the recorder drops zero adds), so a
 /// trace from an untraced or partial run stays quiet. When
@@ -549,6 +558,49 @@ impl Pass for TraceObs {
                 format!(
                     "ordering frontier accounting broken: {levels} total frontier expansions \
                      cannot cover {bfs_levels} Cuthill-McKee BFS levels"
+                ),
+            );
+        }
+        let implicit_builds = counter("sparse.implicit_builds");
+        let postings = counter("sparse.implicit_postings");
+        let capped = counter("sparse.implicit_capped_postings");
+        let hub_items = counter("sparse.implicit_hub_items");
+        let aat_nnz = counter("sparse.aat_nnz");
+        if postings + capped > aat_nnz {
+            Self::balance(
+                out,
+                format!(
+                    "implicit row-graph accounting broken: {postings} active + {capped} capped \
+                     postings = {}, exceeding the {aat_nnz} recorded nonzeros",
+                    postings + capped
+                ),
+            );
+        }
+        if implicit_builds == 0 && (postings > 0 || capped > 0 || hub_items > 0) {
+            Self::balance(
+                out,
+                format!(
+                    "implicit row-graph accounting broken: posting counters present \
+                     ({postings} active, {capped} capped, {hub_items} hub items) without any \
+                     sparse.implicit_builds"
+                ),
+            );
+        }
+        if capped < hub_items {
+            Self::balance(
+                out,
+                format!(
+                    "implicit row-graph accounting broken: {hub_items} hub items but only \
+                     {capped} capped postings (a hub item caps at least one posting)"
+                ),
+            );
+        }
+        if (capped > 0) != (hub_items > 0) {
+            Self::balance(
+                out,
+                format!(
+                    "implicit row-graph accounting broken: capped postings ({capped}) and hub \
+                     items ({hub_items}) must appear together"
                 ),
             );
         }

@@ -22,7 +22,7 @@ use cahd_eval::{
     reidentification_probability,
 };
 use cahd_obs::{Recorder, TraceReport};
-use cahd_rcm::OrderingStrategy;
+use cahd_rcm::{OrderingStrategy, RowGraphMode};
 
 use crate::args::{Args, FlagSpec};
 use crate::CliError;
@@ -246,6 +246,14 @@ pub const ANONYMIZE_FLAGS: &[FlagSpec] = &[
         takes_value: true,
     },
     FlagSpec {
+        name: "rowgraph",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "hub-cap",
+        takes_value: true,
+    },
+    FlagSpec {
         name: "bad-input",
         takes_value: true,
     },
@@ -296,6 +304,37 @@ fn ordering_from_args(args: &Args) -> Result<OrderingStrategy, CliError> {
                 "unknown ordering strategy {v:?}; expected rcm, bfs or cluster"
             ))
         }),
+    }
+}
+
+/// Parses `--rowgraph {auto|explicit|implicit}` (default: auto). The
+/// `CAHD_ROWGRAPH` environment variable still overrides the resolved
+/// mode inside the engine, mirroring `--kernel`/`CAHD_KERNEL`.
+fn rowgraph_from_args(args: &Args) -> Result<RowGraphMode, CliError> {
+    match args.value("rowgraph") {
+        None => Ok(RowGraphMode::Auto),
+        Some(v) => RowGraphMode::parse(v).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown rowgraph mode {v:?}; expected auto, explicit or implicit"
+            ))
+        }),
+    }
+}
+
+/// Parses `--hub-cap {off|<support>}` (default: off). Items with support
+/// above the cap are skipped by the implicit row graph's neighbor
+/// enumeration — a quality-budgeted variant gated by the golden
+/// bandwidth/KL tests. `CAHD_HUB_CAP` still overrides the resolved cap
+/// inside the engine.
+fn hub_cap_from_args(args: &Args) -> Result<Option<u32>, CliError> {
+    match args.value("hub-cap") {
+        None | Some("off") | Some("none") | Some("0") => Ok(None),
+        Some(v) => match v.parse::<u32>() {
+            Ok(cap) => Ok(Some(cap)),
+            Err(_) => Err(CliError::Usage(format!(
+                "invalid --hub-cap {v:?}; expected a positive support bound or off"
+            ))),
+        },
     }
 }
 
@@ -381,19 +420,7 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
     let mut trace: Option<TraceReport> = None;
     let mut published: PublishedDataset = match method {
         "cahd" => {
-            let mut cfg =
-                AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
-            cfg.cahd = CahdConfig::new(p)
-                .with_alpha(args.parse_or("alpha", 3usize)?)
-                .with_kernel(kernel_from_args(args)?);
-            if args.has("no-rcm") {
-                cfg = cfg.without_rcm();
-            }
-            let shards: usize = args.parse_or("shards", 1)?;
-            let threads: usize = args.parse_or("threads", 1)?;
-            if shards > 1 || threads > 1 {
-                cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
-            }
+            let cfg = anonymizer_config_from_args(args, p)?;
             let rec = recorder_from_args(args);
             let res = Anonymizer::new(cfg).anonymize_traced(&data, &sensitive, &rec)?;
             trace = res.trace;
@@ -478,7 +505,10 @@ fn anonymize_weighted_cmd(args: &Args, p: usize, seed: u64) -> Result<String, Cl
 /// Builds the cahd engine configuration shared by the plain, robust and
 /// streaming anonymize paths.
 fn anonymizer_config_from_args(args: &Args, p: usize) -> Result<AnonymizerConfig, CliError> {
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
+    let mut cfg = AnonymizerConfig::with_privacy_degree(p)
+        .with_ordering(ordering_from_args(args)?)
+        .with_rowgraph(rowgraph_from_args(args)?)
+        .with_hub_cap(hub_cap_from_args(args)?);
     cfg.cahd = CahdConfig::new(p)
         .with_alpha(args.parse_or("alpha", 3usize)?)
         .with_kernel(kernel_from_args(args)?);
@@ -994,6 +1024,14 @@ pub const PROFILE_FLAGS: &[FlagSpec] = &[
         name: "ordering",
         takes_value: true,
     },
+    FlagSpec {
+        name: "rowgraph",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "hub-cap",
+        takes_value: true,
+    },
 ];
 
 /// `profile <data.dat> --p P ...`: run the traced pipeline plus a traced
@@ -1013,18 +1051,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.parse_or("seed", 42)?;
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
-    let mut cfg = AnonymizerConfig::with_privacy_degree(p).with_ordering(ordering_from_args(args)?);
-    cfg.cahd = CahdConfig::new(p)
-        .with_alpha(args.parse_or("alpha", 3usize)?)
-        .with_kernel(kernel_from_args(args)?);
-    if args.has("no-rcm") {
-        cfg = cfg.without_rcm();
-    }
-    let shards: usize = args.parse_or("shards", 1)?;
-    let threads: usize = args.parse_or("threads", 1)?;
-    if shards > 1 || threads > 1 {
-        cfg = cfg.with_parallel(ParallelConfig::new(shards, threads));
-    }
+    let cfg = anonymizer_config_from_args(args, p)?;
 
     let rec = if args.has("memory") {
         Recorder::new().with_memory()

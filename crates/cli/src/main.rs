@@ -27,6 +27,9 @@ usage:
                      [--method cahd|pm|random] [--alpha A] [--no-rcm] [--refine]
                      [--kernel adaptive|sparse|dense]  (similarity kernel)
                      [--ordering rcm|bfs|cluster]  (band-reducing ordering)
+                     [--rowgraph auto|explicit|implicit]  (A·Aᵀ representation)
+                     [--hub-cap S|off]  (skip items with support > S in the
+                     implicit row graph; quality-budgeted)
                      [--shards K] [--threads T]  (sharded parallel pipeline)
                      [--weighted]  (input is .wdat item:count data)
                      [--bad-input strict|quarantine] [--items D]  (robust
@@ -49,6 +52,7 @@ usage:
   cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
                      [--kernel adaptive|sparse|dense] [--ordering rcm|bfs|cluster]
+                     [--rowgraph auto|explicit|implicit] [--hub-cap S|off]
                      [--r R] [--queries N] [--seed N] [--trace-json trace.json]
                      [--memory]  (adds per-phase allocator attribution)
                      (traced pipeline + workload; see docs/OBSERVABILITY.md)

@@ -63,6 +63,25 @@ impl AnonymizerConfig {
         self.rcm.ordering = ordering;
         self
     }
+
+    /// Selects the `A x A^T` representation policy of the RCM phase
+    /// (`auto`, `explicit` or `implicit`; see
+    /// [`cahd_rcm::RowGraphMode`]). The `CAHD_ROWGRAPH` environment
+    /// variable still overrides this at run time.
+    pub fn with_rowgraph(mut self, mode: cahd_rcm::RowGraphMode) -> Self {
+        self.rcm.rowgraph = mode;
+        self
+    }
+
+    /// Sets the hub-item support cap of the implicit representation:
+    /// items with support above the cap are skipped during neighbor
+    /// enumeration (a quality-budgeted variant; under `auto` the cap
+    /// forces the implicit representation). `CAHD_HUB_CAP` still
+    /// overrides this at run time.
+    pub fn with_hub_cap(mut self, cap: Option<u32>) -> Self {
+        self.rcm.hub_cap = cap;
+        self
+    }
 }
 
 /// Output of [`Anonymizer::anonymize`].

@@ -91,6 +91,35 @@ pub fn dense_config(scale: f64) -> QuestConfig {
     }
 }
 
+/// A Quest workload two orders of magnitude past the BMS references:
+/// four million transactions over a two-million-item universe (one
+/// million rows at the full-mode snapshot scale 0.25) — the shape of a
+/// URL-universe clickstream. This is what the implicit row-graph
+/// backend exists for: materializing `A x A^T` here means hundreds of
+/// millions of edges, while the inverted index walks the same graph
+/// from ~tens of MB of postings. The universe is wide and the rows
+/// short and untailed on purpose: the implicit backend's one-shot exact
+/// degree pass costs `sum(support^2)` over the items (its traversals
+/// are segment-deduplicated down to O(nnz) per sweep), so item supports
+/// must grow slowly with the row count for million-row orderings to
+/// stay in seconds.
+pub fn quest_xl_config(scale: f64) -> QuestConfig {
+    QuestConfig {
+        n_transactions: scaled(4_000_000, scale),
+        n_items: 2_000_000,
+        avg_txn_len: 4.0,
+        max_txn_len: 24,
+        n_patterns: 100_000,
+        avg_pattern_len: 3.0,
+        correlation: 0.5,
+        corruption_mean: 0.5,
+        corruption_sd: 0.1,
+        item_skew: 0.0,
+        tail_prob: 0.0,
+        tail_len_mean: 50.0,
+    }
+}
+
 /// Generates a BMS1-like dataset.
 pub fn bms1_like(scale: f64, seed: u64) -> TransactionSet {
     QuestGenerator::new(bms1_config(scale), seed).generate()
@@ -109,6 +138,11 @@ pub fn fig6_like(correlation: f64, seed: u64) -> TransactionSet {
 /// Generates the dense kernel-benchmark workload.
 pub fn dense_like(scale: f64, seed: u64) -> TransactionSet {
     QuestGenerator::new(dense_config(scale), seed).generate()
+}
+
+/// Generates the million-row implicit-ordering workload.
+pub fn quest_xl_like(scale: f64, seed: u64) -> TransactionSet {
+    QuestGenerator::new(quest_xl_config(scale), seed).generate()
 }
 
 fn scaled(n: usize, scale: f64) -> usize {
@@ -170,6 +204,23 @@ mod tests {
         // words = ceil(400 / 64) = 7; dense eligibility needs 4*len >= 7,
         // i.e. rows of >= 2 items — the average must sit far above that.
         assert!(s.avg_length > 20.0, "avg {}", s.avg_length);
+    }
+
+    #[test]
+    fn quest_xl_profile_is_short_row_and_wide() {
+        // A 1/400 slice of the full-scale workload keeps the test cheap
+        // while pinning the shape knobs that bound implicit-enumeration
+        // cost: short untailed rows over a wide universe.
+        let t = quest_xl_like(0.25 / 400.0, 7);
+        let s = DatasetStats::compute(&t);
+        assert_eq!(s.transactions, 2_500);
+        assert_eq!(s.items, 2_000_000);
+        assert!(s.max_length <= 24);
+        assert!(
+            s.avg_length > 2.0 && s.avg_length < 7.0,
+            "avg {}",
+            s.avg_length
+        );
     }
 
     #[test]

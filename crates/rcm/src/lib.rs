@@ -24,9 +24,15 @@
 //! * [`strategy`] — the [`OrderingStrategy`] run-time selector
 //!   (`--ordering {rcm,bfs,cluster}` / `CAHD_ORDERING`).
 //!
-//! All algorithms work against the [`cahd_sparse::NeighborOracle`] trait, so
-//! they run identically on materialized adjacency and on the inverted-index
-//! (implicit) representation used for very large inputs.
+//! The frontier engine and the production drivers work against the
+//! [`cahd_sparse::ParNeighborOracle`] trait (caller-owned per-worker
+//! scratch, `Sync`), so they run identically — and in parallel — on
+//! materialized adjacency and on the inverted-index (implicit)
+//! representation; the sequential reference algorithms keep the simpler
+//! [`cahd_sparse::NeighborOracle`] interface, bridged by
+//! [`cahd_sparse::SeqOracle`]. Representation is selected by
+//! [`cahd_sparse::RowGraphMode`] (`--rowgraph {auto,explicit,implicit}` /
+//! `CAHD_ROWGRAPH`).
 
 pub mod cm;
 pub mod gps;
@@ -38,6 +44,7 @@ pub mod rcm;
 pub mod strategy;
 pub mod unsym;
 
+pub use cahd_sparse::{resolve_hub_cap, RowGraphMode};
 pub use cm::{cuthill_mckee_component, cuthill_mckee_component_linear};
 pub use gps::gibbs_poole_stockmeyer;
 pub use level::LevelStructure;

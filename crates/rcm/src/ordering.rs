@@ -60,13 +60,13 @@ impl RowOrder {
             RowOrder::Identity => Permutation::identity(a.n_rows()),
             RowOrder::Rcm => {
                 let g = cahd_sparse::RowGraph::build(a, cahd_sparse::RowGraph::DEFAULT_EDGE_BUDGET);
-                crate::rcm::reverse_cuthill_mckee(&g)
+                crate::parallel::band_order_seq(&g, crate::OrderingStrategy::Rcm)
             }
             RowOrder::MinHash => minhash_order(a, 8, seed),
             RowOrder::Lexicographic => lexicographic_order(a),
             RowOrder::Gps => {
                 let g = cahd_sparse::RowGraph::build(a, cahd_sparse::RowGraph::DEFAULT_EDGE_BUDGET);
-                crate::gps::gibbs_poole_stockmeyer(&g)
+                crate::gps::gibbs_poole_stockmeyer(&cahd_sparse::SeqOracle::new(&g))
             }
         }
     }

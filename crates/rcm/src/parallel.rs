@@ -7,30 +7,46 @@
 //!
 //! > level `k+1` = for each parent of level `k` **in order**: the fresh
 //! > neighbors *claimed* by that parent (a vertex is claimed by its
-//! > first-in-order parent), sorted by `(degree, id)` within the parent.
+//! > first-in-order parent), sorted within the parent — by `(degree, id)`
+//! > in the CM pass, by `id` in plain level-structure builds.
 //!
 //! Every quantity in that rule — claim ownership, degrees, ids — is a pure
-//! function of the graph and the previous level, so a level can be
-//! expanded by any number of workers and reassembled deterministically:
+//! function of the graph and the previous level (a *set*-determined rule,
+//! independent of the order any oracle happens to enumerate neighbors
+//! in), so a level can be expanded by any number of workers over any
+//! [`ParNeighborOracle`] and reassembled deterministically:
 //!
 //! 1. **Bid** (parallel): each worker owns a contiguous chunk of parents;
 //!    for each parent position `p` and unvisited neighbor `w` it performs
 //!    `owner[w].fetch_min(p)`. After a barrier, `owner[w]` is the claiming
 //!    parent of `w` — the same parent the sequential loop would claim.
-//! 2. **Claim** (parallel): each worker replays the `(p, w)` bids it
-//!    recorded (already in parent order — the graph is traversed exactly
-//!    once, in the bid phase), keeps the ones it owns (`owner[w] == p`),
-//!    marks them visited, resets `owner[w]` for the next level, and sorts
-//!    them `(degree, id)` within each parent.
+//! 2. **Claim** (parallel): each worker re-enumerates its parents'
+//!    neighbors, keeps the ones it owns (`owner[w] == p`), marks them
+//!    visited, resets `owner[w]` for the next level, and sorts them
+//!    within each parent. Re-enumerating instead of replaying a recorded
+//!    bid buffer keeps the expansion's footprint at O(frontier), not
+//!    O(frontier *edges*) — on clique-heavy transaction graphs the edge
+//!    count of one frontier reaches tens of millions.
 //! 3. **Concatenate** (sequential): worker outputs are appended in worker
 //!    index order, which is parent order.
 //!
 //! The result is **byte-identical to the sequential reference at every
-//! thread count** — proven by the `ordering_equivalence` proptest suite.
-//! The same engine builds the George–Liu level structures of the
-//! pseudo-peripheral search (step 2's per-parent sort is skipped there;
-//! discovery order is preserved instead), so the whole ordering phase
-//! parallelizes, not just the final CM pass.
+//! thread count and for every representation** (explicit or implicit row
+//! graph) — proven by the `ordering_equivalence` and
+//! `representation_equivalence` proptest suites. The same engine builds
+//! the George–Liu level structures of the pseudo-peripheral search, so
+//! the whole ordering phase parallelizes, not just the final CM pass.
+//!
+//! Workers query the oracle through caller-owned [`OracleScratch`]es —
+//! one per worker, allocated once per ordering by the driver — so the
+//! implicit row graph's stamped dedup needs no interior mutability and no
+//! locks. Every expansion (and each bid/claim phase) is declared as one
+//! oracle *segment* via [`ParNeighborOracle::begin_segment`], letting the
+//! implicit graph walk each item's posting clique at most once per
+//! segment: the first parent holding an item reaches the clique's every
+//! row, so later parents could only re-find visited vertices. That keeps
+//! a whole frontier expansion at O(nnz) enumeration cost where naive
+//! per-parent enumeration pays sum(support^2).
 //!
 //! # Counter determinism
 //!
@@ -41,13 +57,15 @@
 //! A run with `threads = 1` therefore reports the same counters as a run
 //! with `threads = 8`, keeping the trace-invariance property suite and
 //! the `CAHD-O001` identities (`frontier_parallel + frontier_sequential
-//! == levels`, `levels >= bfs_levels`) valid for any machine.
+//! == levels`, `levels >= bfs_levels`) valid for any machine. The
+//! counters are also representation-invariant: explicit and implicit
+//! oracles produce identical level sets, hence identical counts.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Barrier;
 
 use cahd_obs::Recorder;
-use cahd_sparse::{NeighborOracle, Permutation};
+use cahd_sparse::{OracleScratch, ParNeighborOracle, Permutation};
 
 use crate::level::LevelStructure;
 use crate::peripheral::george_liu_iterate;
@@ -61,10 +79,11 @@ pub const PARALLEL_FRONTIER_MIN: usize = 256;
 
 /// Thread count below which [`band_order_traced`] keeps even eligible
 /// frontiers on the sequential path: the bid/claim protocol's overhead
-/// (bid records, two barriers, per-level spawns) roughly costs one extra
-/// frontier traversal, so splitting it fewer than four ways is a net
-/// loss. Output is byte-identical on both paths, and counters classify
-/// by frontier width, so the cutoff is invisible outside wall time.
+/// (two traversals, two barriers, per-level spawns) roughly costs one
+/// extra frontier traversal, so splitting it fewer than four ways is a
+/// net loss. Output is byte-identical on both paths, and counters
+/// classify by frontier width, so the cutoff is invisible outside wall
+/// time.
 pub const PARALLEL_THREADS_MIN: usize = 4;
 
 /// Ordering-phase counters accumulated by the frontier engine. All fields
@@ -110,10 +129,14 @@ impl FrontierStats {
 }
 
 /// What the per-level claim step does with each parent's claimed batch.
+/// Both variants sort by a set-determined key, so the output never
+/// depends on the oracle's neighbor enumeration order.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Within {
-    /// Keep neighbor enumeration order (level-structure builds).
-    Discovery,
+    /// Sort by vertex `id` (level-structure builds). For the explicit
+    /// graph — whose neighbor lists are ascending — this matches
+    /// discovery order exactly, so the sequential reference is unchanged.
+    Id,
     /// Sort by `(degree, id)` (the Cuthill-McKee rule).
     DegreeThenId,
 }
@@ -140,44 +163,53 @@ impl BandKind {
     }
 }
 
+/// Pushes one parent's fresh batch onto `out` under the within-parent
+/// rule. `fresh` holds `(key, w)` pairs; for [`Within::Id`] the key *is*
+/// the id (duplicated into the pair for a single sort codepath).
+fn flush_fresh(fresh: &mut Vec<(u32, u32)>, out: &mut Vec<u32>) {
+    fresh.sort_unstable();
+    out.extend(fresh.iter().map(|&(_, w)| w));
+    fresh.clear();
+}
+
+/// The within-parent sort key of a fresh vertex.
+#[inline]
+fn fresh_key<G: ParNeighborOracle>(g: &G, w: u32, within: Within) -> (u32, u32) {
+    match within {
+        Within::Id => (w, w),
+        Within::DegreeThenId => (g.degree(w as usize) as u32, w),
+    }
+}
+
 /// Expands one frontier with plain (single-threaded) visited marks:
 /// claim-by-first-parent in parent order, which is exactly the claim-by-
 /// minimum-parent rule the parallel path computes.
+///
+/// The expansion is one oracle *segment*: the implicit row graph walks
+/// each item's posting clique at most once per level — sound because the
+/// first parent holding an item reaches the whole clique, so later
+/// parents could only re-find visited rows (the marks filter the
+/// duplicates and `v` itself either way).
 #[allow(clippy::too_many_arguments)]
-fn expand_plain<G: NeighborOracle>(
+fn expand_plain<G: ParNeighborOracle>(
     g: &G,
     parents: &[u32],
     mark: &mut [u32],
     stamp: u32,
     within: Within,
-    nbrs: &mut Vec<u32>,
+    scratch: &mut OracleScratch,
     fresh: &mut Vec<(u32, u32)>,
     out: &mut Vec<u32>,
 ) {
+    g.begin_segment(scratch);
     for &v in parents {
-        nbrs.clear();
-        g.neighbors_into(v as usize, nbrs);
-        match within {
-            Within::Discovery => {
-                for &w in nbrs.iter() {
-                    if mark[w as usize] != stamp {
-                        mark[w as usize] = stamp;
-                        out.push(w);
-                    }
-                }
+        g.visit_neighbors(v as usize, scratch, &mut |w| {
+            if mark[w as usize] != stamp {
+                mark[w as usize] = stamp;
+                fresh.push(fresh_key(g, w, within));
             }
-            Within::DegreeThenId => {
-                fresh.clear();
-                for &w in nbrs.iter() {
-                    if mark[w as usize] != stamp {
-                        mark[w as usize] = stamp;
-                        fresh.push((g.degree(w as usize) as u32, w));
-                    }
-                }
-                fresh.sort_unstable();
-                out.extend(fresh.iter().map(|&(_, w)| w));
-            }
-        }
+        });
+        flush_fresh(fresh, out);
     }
 }
 
@@ -185,40 +217,25 @@ fn expand_plain<G: NeighborOracle>(
 /// below-threshold path of the parallel driver. Relaxed loads/stores on
 /// one thread compile to plain memory operations.
 #[allow(clippy::too_many_arguments)]
-fn expand_atomic_seq<G: NeighborOracle>(
+fn expand_atomic_seq<G: ParNeighborOracle>(
     g: &G,
     parents: &[u32],
     mark: &[AtomicU32],
     stamp: u32,
     within: Within,
-    nbrs: &mut Vec<u32>,
+    scratch: &mut OracleScratch,
     fresh: &mut Vec<(u32, u32)>,
     out: &mut Vec<u32>,
 ) {
+    g.begin_segment(scratch);
     for &v in parents {
-        nbrs.clear();
-        g.neighbors_into(v as usize, nbrs);
-        match within {
-            Within::Discovery => {
-                for &w in nbrs.iter() {
-                    if mark[w as usize].load(Ordering::Relaxed) != stamp {
-                        mark[w as usize].store(stamp, Ordering::Relaxed);
-                        out.push(w);
-                    }
-                }
+        g.visit_neighbors(v as usize, scratch, &mut |w| {
+            if mark[w as usize].load(Ordering::Relaxed) != stamp {
+                mark[w as usize].store(stamp, Ordering::Relaxed);
+                fresh.push(fresh_key(g, w, within));
             }
-            Within::DegreeThenId => {
-                fresh.clear();
-                for &w in nbrs.iter() {
-                    if mark[w as usize].load(Ordering::Relaxed) != stamp {
-                        mark[w as usize].store(stamp, Ordering::Relaxed);
-                        fresh.push((g.degree(w as usize) as u32, w));
-                    }
-                }
-                fresh.sort_unstable();
-                out.extend(fresh.iter().map(|&(_, w)| w));
-            }
-        }
+        });
+        flush_fresh(fresh, out);
     }
 }
 
@@ -229,9 +246,14 @@ fn expand_atomic_seq<G: NeighborOracle>(
 /// and that parent's worker resets the slot. Other workers racing on the
 /// slot read either the final minimum (not their parent) or the reset
 /// `u32::MAX`; both mean "not mine", so the reset is safe under `Relaxed`
-/// ordering — the barrier separates all bids from all claims.
+/// ordering — the barrier separates all bids from all claims. Within one
+/// worker, a vertex bid on by several of its parents is claimed by the
+/// first (the owner reset makes the later re-encounters read MAX).
+///
+/// `scratches` must hold at least `min(threads, parents.len())` entries;
+/// worker `i` gets exclusive use of `scratches[i]`.
 #[allow(clippy::too_many_arguments)]
-fn expand_atomic_par<G: NeighborOracle + Sync>(
+fn expand_atomic_par<G: ParNeighborOracle>(
     g: &G,
     parents: &[u32],
     mark: &[AtomicU32],
@@ -239,6 +261,7 @@ fn expand_atomic_par<G: NeighborOracle + Sync>(
     stamp: u32,
     within: Within,
     threads: usize,
+    scratches: &mut [OracleScratch],
     out: &mut Vec<u32>,
 ) {
     // Derive the worker count back from the chunk size: with a plain
@@ -252,61 +275,51 @@ fn expand_atomic_par<G: NeighborOracle + Sync>(
     let n_workers = parents.len().div_ceil(chunk).max(1);
     let barrier = Barrier::new(n_workers);
     let claimed: Vec<Vec<u32>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|wi| {
+        let handles: Vec<_> = scratches[..n_workers]
+            .iter_mut()
+            .enumerate()
+            .map(|(wi, scratch)| {
                 let barrier = &barrier;
                 let lo = wi * chunk;
                 let hi = (lo + chunk).min(parents.len());
                 scope.spawn(move || {
-                    let mut nbrs: Vec<u32> = Vec::new();
                     // Bid: fetch_min resolves racing parents to the
                     // minimum position — the sequential claimant. Each
-                    // bid is recorded as `(pos, w)` so the claim phase
-                    // replays the buffer instead of traversing the
-                    // neighbor lists a second time; the buffer is in
-                    // parent order by construction.
-                    let mut bids: Vec<(u32, u32)> = Vec::new();
+                    // phase is one oracle segment, so a segment-dedup
+                    // oracle presents each unvisited vertex at the first
+                    // chunk parent adjacent to it — the worker's minimum
+                    // position, which is all fetch_min needs from this
+                    // worker.
+                    g.begin_segment(scratch);
                     for (off, &v) in parents[lo..hi].iter().enumerate() {
                         let pos = (lo + off) as u32;
-                        nbrs.clear();
-                        g.neighbors_into(v as usize, &mut nbrs);
-                        for &w in &nbrs {
+                        g.visit_neighbors(v as usize, scratch, &mut |w| {
                             if mark[w as usize].load(Ordering::Relaxed) != stamp {
                                 owner[w as usize].fetch_min(pos, Ordering::Relaxed);
-                                bids.push((pos, w));
                             }
-                        }
+                        });
                     }
                     barrier.wait();
-                    // Claim: keep owned bids, grouped per parent. A
-                    // vertex bid on by several of this worker's parents
-                    // appears once per parent; only the entry whose
-                    // `pos` survived every fetch_min claims it, and the
-                    // owner reset makes the later duplicates read MAX.
+                    // Claim: re-traverse (a fresh segment) and keep owned
+                    // vertices, grouped per parent. A vertex this worker
+                    // owns is re-encountered at exactly the owning
+                    // position: the global minimum lies in this chunk, so
+                    // it *is* the worker's first adjacent parent. Vertices
+                    // owned elsewhere (or already visited) fail the owner
+                    // check and fall out.
                     let mut mine: Vec<u32> = Vec::new();
                     let mut fresh: Vec<(u32, u32)> = Vec::new();
-                    let mut i = 0;
-                    while i < bids.len() {
-                        let pos = bids[i].0;
-                        fresh.clear();
-                        while i < bids.len() && bids[i].0 == pos {
-                            let w = bids[i].1;
-                            i += 1;
+                    g.begin_segment(scratch);
+                    for (off, &v) in parents[lo..hi].iter().enumerate() {
+                        let pos = (lo + off) as u32;
+                        g.visit_neighbors(v as usize, scratch, &mut |w| {
                             if owner[w as usize].load(Ordering::Relaxed) == pos {
                                 owner[w as usize].store(u32::MAX, Ordering::Relaxed);
                                 mark[w as usize].store(stamp, Ordering::Relaxed);
-                                match within {
-                                    Within::Discovery => mine.push(w),
-                                    Within::DegreeThenId => {
-                                        fresh.push((g.degree(w as usize) as u32, w));
-                                    }
-                                }
+                                fresh.push(fresh_key(g, w, within));
                             }
-                        }
-                        if within == Within::DegreeThenId {
-                            fresh.sort_unstable();
-                            mine.extend(fresh.iter().map(|&(_, w)| w));
-                        }
+                        });
+                        flush_fresh(&mut fresh, &mut mine);
                     }
                     mine
                 })
@@ -330,7 +343,7 @@ fn expand_atomic_par<G: NeighborOracle + Sync>(
 /// engine, switching per level between the parallel and sequential paths
 /// by eligibility. Identical output to [`LevelStructure::build`].
 #[allow(clippy::too_many_arguments)]
-fn build_levels_atomic<G: NeighborOracle + Sync>(
+fn build_levels_atomic<G: ParNeighborOracle>(
     g: &G,
     root: u32,
     mark: &[AtomicU32],
@@ -338,6 +351,7 @@ fn build_levels_atomic<G: NeighborOracle + Sync>(
     stamp: u32,
     threads: usize,
     frontier_min: usize,
+    scratches: &mut [OracleScratch],
     stats: &mut FrontierStats,
 ) -> LevelStructure {
     mark[root as usize].store(stamp, Ordering::Relaxed);
@@ -345,7 +359,6 @@ fn build_levels_atomic<G: NeighborOracle + Sync>(
     let mut offsets: Vec<usize> = vec![0];
     let mut current: Vec<u32> = vec![root];
     let mut next: Vec<u32> = Vec::new();
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut fresh: Vec<(u32, u32)> = Vec::new();
     loop {
         offsets.push(verts.len());
@@ -358,8 +371,9 @@ fn build_levels_atomic<G: NeighborOracle + Sync>(
                 mark,
                 owner,
                 stamp,
-                Within::Discovery,
+                Within::Id,
                 threads,
+                scratches,
                 &mut next,
             );
         } else {
@@ -368,8 +382,8 @@ fn build_levels_atomic<G: NeighborOracle + Sync>(
                 &current,
                 mark,
                 stamp,
-                Within::Discovery,
-                &mut nbrs,
+                Within::Id,
+                &mut scratches[0],
                 &mut fresh,
                 &mut next,
             );
@@ -383,14 +397,16 @@ fn build_levels_atomic<G: NeighborOracle + Sync>(
     LevelStructure::from_raw(root, verts, offsets)
 }
 
-/// Sequential twin of [`build_levels_atomic`] for oracles that are not
-/// `Sync` (the implicit row graph). Counts expansions identically.
-fn build_levels_plain<G: NeighborOracle>(
+/// Sequential twin of [`build_levels_atomic`] — plain marks, one scratch.
+/// Counts expansions identically.
+#[allow(clippy::too_many_arguments)]
+fn build_levels_plain<G: ParNeighborOracle>(
     g: &G,
     root: u32,
     mark: &mut [u32],
     stamp: u32,
     frontier_min: usize,
+    scratch: &mut OracleScratch,
     stats: &mut FrontierStats,
 ) -> LevelStructure {
     mark[root as usize] = stamp;
@@ -398,7 +414,6 @@ fn build_levels_plain<G: NeighborOracle>(
     let mut offsets: Vec<usize> = vec![0];
     let mut current: Vec<u32> = vec![root];
     let mut next: Vec<u32> = Vec::new();
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut fresh: Vec<(u32, u32)> = Vec::new();
     loop {
         offsets.push(verts.len());
@@ -409,8 +424,8 @@ fn build_levels_plain<G: NeighborOracle>(
             &current,
             mark,
             stamp,
-            Within::Discovery,
-            &mut nbrs,
+            Within::Id,
+            scratch,
             &mut fresh,
             &mut next,
         );
@@ -427,7 +442,7 @@ fn build_levels_plain<G: NeighborOracle>(
 /// using the atomic frontier engine. Identical output to
 /// [`crate::cm::cuthill_mckee_component`].
 #[allow(clippy::too_many_arguments)]
-fn cm_component_atomic<G: NeighborOracle + Sync>(
+fn cm_component_atomic<G: ParNeighborOracle>(
     g: &G,
     root: u32,
     mark: &[AtomicU32],
@@ -435,13 +450,13 @@ fn cm_component_atomic<G: NeighborOracle + Sync>(
     stamp: u32,
     threads: usize,
     frontier_min: usize,
+    scratches: &mut [OracleScratch],
     stats: &mut FrontierStats,
     order: &mut Vec<u32>,
 ) {
     mark[root as usize].store(stamp, Ordering::Relaxed);
     let mut current: Vec<u32> = vec![root];
     let mut next: Vec<u32> = Vec::new();
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut fresh: Vec<(u32, u32)> = Vec::new();
     loop {
         stats.record(current.len(), frontier_min);
@@ -455,6 +470,7 @@ fn cm_component_atomic<G: NeighborOracle + Sync>(
                 stamp,
                 Within::DegreeThenId,
                 threads,
+                scratches,
                 &mut next,
             );
         } else {
@@ -464,7 +480,7 @@ fn cm_component_atomic<G: NeighborOracle + Sync>(
                 mark,
                 stamp,
                 Within::DegreeThenId,
-                &mut nbrs,
+                &mut scratches[0],
                 &mut fresh,
                 &mut next,
             );
@@ -477,20 +493,21 @@ fn cm_component_atomic<G: NeighborOracle + Sync>(
     }
 }
 
-/// Sequential twin of [`cm_component_atomic`] for non-`Sync` oracles.
-fn cm_component_plain<G: NeighborOracle>(
+/// Sequential twin of [`cm_component_atomic`].
+#[allow(clippy::too_many_arguments)]
+fn cm_component_plain<G: ParNeighborOracle>(
     g: &G,
     root: u32,
     mark: &mut [u32],
     stamp: u32,
     frontier_min: usize,
+    scratch: &mut OracleScratch,
     stats: &mut FrontierStats,
     order: &mut Vec<u32>,
 ) {
     mark[root as usize] = stamp;
     let mut current: Vec<u32> = vec![root];
     let mut next: Vec<u32> = Vec::new();
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut fresh: Vec<(u32, u32)> = Vec::new();
     loop {
         stats.record(current.len(), frontier_min);
@@ -501,7 +518,7 @@ fn cm_component_plain<G: NeighborOracle>(
             mark,
             stamp,
             Within::DegreeThenId,
-            &mut nbrs,
+            scratch,
             &mut fresh,
             &mut next,
         );
@@ -517,7 +534,10 @@ fn cm_component_plain<G: NeighborOracle>(
 /// George–Liu pseudo-peripheral search followed by the strategy's
 /// traversal. Components are processed in order of their smallest vertex
 /// id, exactly like [`crate::rcm::cuthill_mckee_traced`].
-fn order_vertices_atomic<G: NeighborOracle + Sync>(
+///
+/// Oracle scratches are allocated here, once per ordering — one per
+/// worker — and reused across every frontier of every component.
+fn order_vertices_atomic<G: ParNeighborOracle>(
     g: &G,
     kind: BandKind,
     threads: usize,
@@ -527,6 +547,7 @@ fn order_vertices_atomic<G: NeighborOracle + Sync>(
     let n = g.n_vertices();
     let mark: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
     let owner: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut scratches: Vec<OracleScratch> = (0..threads.max(1)).map(|_| g.new_scratch()).collect();
     let mut stamp = 0u32;
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut in_order = vec![false; n];
@@ -537,12 +558,23 @@ fn order_vertices_atomic<G: NeighborOracle + Sync>(
         let (root, levels) = {
             let stamp = &mut stamp;
             let stats = &mut *stats;
+            let scratches = &mut scratches;
             let (mark, owner) = (&mark, &owner);
             george_liu_iterate(
                 |w| g.degree(w as usize),
                 move |r| {
                     *stamp += 1;
-                    build_levels_atomic(g, r, mark, owner, *stamp, threads, frontier_min, stats)
+                    build_levels_atomic(
+                        g,
+                        r,
+                        mark,
+                        owner,
+                        *stamp,
+                        threads,
+                        frontier_min,
+                        scratches,
+                        stats,
+                    )
                 },
                 start as u32,
             )
@@ -561,6 +593,7 @@ fn order_vertices_atomic<G: NeighborOracle + Sync>(
                     stamp,
                     threads,
                     frontier_min,
+                    &mut scratches,
                     stats,
                     &mut order,
                 );
@@ -580,9 +613,10 @@ fn order_vertices_atomic<G: NeighborOracle + Sync>(
     order
 }
 
-/// Sequential twin of [`order_vertices_atomic`] for non-`Sync` oracles.
-/// Emits the same counters for the same graph and strategy.
-fn order_vertices_plain<G: NeighborOracle>(
+/// Sequential twin of [`order_vertices_atomic`]: plain marks, one
+/// scratch, no atomics. Emits the same counters — and the same order —
+/// for the same graph and strategy.
+fn order_vertices_plain<G: ParNeighborOracle>(
     g: &G,
     kind: BandKind,
     frontier_min: usize,
@@ -590,6 +624,7 @@ fn order_vertices_plain<G: NeighborOracle>(
 ) -> Vec<u32> {
     let n = g.n_vertices();
     let mut mark = vec![0u32; n];
+    let mut scratch = g.new_scratch();
     let mut stamp = 0u32;
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut in_order = vec![false; n];
@@ -601,11 +636,12 @@ fn order_vertices_plain<G: NeighborOracle>(
             let stamp = &mut stamp;
             let mark = &mut mark;
             let stats = &mut *stats;
+            let scratch = &mut scratch;
             george_liu_iterate(
                 |w| g.degree(w as usize),
                 move |r| {
                     *stamp += 1;
-                    build_levels_plain(g, r, mark, *stamp, frontier_min, stats)
+                    build_levels_plain(g, r, mark, *stamp, frontier_min, scratch, stats)
                 },
                 start as u32,
             )
@@ -616,7 +652,16 @@ fn order_vertices_plain<G: NeighborOracle>(
             BandKind::Cm => {
                 stamp += 1;
                 let before = order.len();
-                cm_component_plain(g, root, &mut mark, stamp, frontier_min, stats, &mut order);
+                cm_component_plain(
+                    g,
+                    root,
+                    &mut mark,
+                    stamp,
+                    frontier_min,
+                    &mut scratch,
+                    stats,
+                    &mut order,
+                );
                 for &v in &order[before..] {
                     in_order[v as usize] = true;
                 }
@@ -645,11 +690,12 @@ fn reversed_permutation(order: Vec<u32>) -> Permutation {
 /// `threads` frontier workers.
 ///
 /// Under [`OrderingStrategy::Rcm`] the result is byte-identical to
-/// [`crate::reverse_cuthill_mckee`] at every thread count (the
-/// `ordering_equivalence` suite proves this); the other strategies are
-/// deterministic but cheaper orders with looser band quality.
-pub fn band_order(
-    g: &(impl NeighborOracle + Sync),
+/// [`crate::reverse_cuthill_mckee`] at every thread count and for every
+/// oracle representation (the `ordering_equivalence` and
+/// `representation_equivalence` suites prove this); the other strategies
+/// are deterministic but cheaper orders with looser band quality.
+pub fn band_order<G: ParNeighborOracle>(
+    g: &G,
     strategy: OrderingStrategy,
     threads: usize,
 ) -> Permutation {
@@ -661,20 +707,28 @@ pub fn band_order(
 /// `rcm.frontier_sequential`) into `rec`. The counters are functions of
 /// the graph and strategy only — identical at every thread count.
 ///
-/// Below [`PARALLEL_THREADS_MIN`] threads the expansion runs sequentially
-/// even on eligible frontiers: with so few workers the bid/claim protocol
-/// costs more than it splits (the bid records plus two barriers roughly
-/// match one extra traversal), and the output is byte-identical either
-/// way. The counters still classify by frontier *width*, so traces do not
-/// depend on where this cutoff lands.
-pub fn band_order_traced(
-    g: &(impl NeighborOracle + Sync),
+/// The requested thread count is clamped to the machine's available
+/// parallelism — extra workers on an oversubscribed host only add spawn
+/// and barrier latency — and below [`PARALLEL_THREADS_MIN`] effective
+/// workers the expansion runs sequentially even on eligible frontiers:
+/// with so few workers the bid/claim protocol costs more than it splits
+/// (the second traversal plus two barriers roughly match one extra
+/// traversal). The output is byte-identical at every worker count, and
+/// the counters classify by frontier *width*, so neither cutoff is
+/// visible outside wall time.
+pub fn band_order_traced<G: ParNeighborOracle>(
+    g: &G,
     strategy: OrderingStrategy,
     threads: usize,
     rec: &Recorder,
 ) -> Permutation {
-    let workers = if threads >= PARALLEL_THREADS_MIN {
-        threads
+    let capped = threads.min(
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(usize::MAX),
+    );
+    let workers = if capped >= PARALLEL_THREADS_MIN {
+        capped
     } else {
         1
     };
@@ -684,11 +738,12 @@ pub fn band_order_traced(
 /// [`band_order_traced`] with an explicit parallel-eligibility threshold.
 ///
 /// Production code always passes [`PARALLEL_FRONTIER_MIN`]; the override
-/// exists so the equivalence suite can force the parallel path on graphs
-/// far smaller than the production threshold. Counters are computed under
-/// the *given* threshold, preserving the `CAHD-O001` identities.
-pub fn band_order_with(
-    g: &(impl NeighborOracle + Sync),
+/// exists so the equivalence suites can force the parallel claim path on
+/// graphs far smaller than the production threshold. Counters are
+/// computed under the *given* threshold, preserving the `CAHD-O001`
+/// identities.
+pub fn band_order_with<G: ParNeighborOracle>(
+    g: &G,
     strategy: OrderingStrategy,
     threads: usize,
     frontier_min: usize,
@@ -706,16 +761,16 @@ pub fn band_order_with(
     reversed_permutation(order)
 }
 
-/// Sequential [`band_order`] for oracles that are not `Sync` (the
-/// implicit row graph, whose scratch space is interior-mutable). Emits
-/// the same counters as the threaded driver would for this graph.
-pub fn band_order_seq(g: &impl NeighborOracle, strategy: OrderingStrategy) -> Permutation {
+/// Single-threaded [`band_order`]: plain marks, no atomics, one scratch.
+/// Byte-identical to the threaded driver; kept as the reference twin the
+/// equivalence suites compare against.
+pub fn band_order_seq<G: ParNeighborOracle>(g: &G, strategy: OrderingStrategy) -> Permutation {
     band_order_seq_traced(g, strategy, &Recorder::disabled())
 }
 
 /// [`band_order_seq`] with counter recording; see [`band_order_traced`].
-pub fn band_order_seq_traced(
-    g: &impl NeighborOracle,
+pub fn band_order_seq_traced<G: ParNeighborOracle>(
+    g: &G,
     strategy: OrderingStrategy,
     rec: &Recorder,
 ) -> Permutation {
@@ -724,8 +779,8 @@ pub fn band_order_seq_traced(
 
 /// [`band_order_seq_traced`] with an explicit eligibility threshold; the
 /// test hook mirroring [`band_order_with`].
-pub fn band_order_seq_with(
-    g: &impl NeighborOracle,
+pub fn band_order_seq_with<G: ParNeighborOracle>(
+    g: &G,
     strategy: OrderingStrategy,
     frontier_min: usize,
     rec: &Recorder,
@@ -900,4 +955,32 @@ mod tests {
         assert!(bfs_bw <= 11, "bfs bandwidth {bfs_bw}");
         assert!(rcm_bw <= bfs_bw, "rcm {rcm_bw} worse than bfs {bfs_bw}");
     }
+
+    #[test]
+    fn implicit_oracle_matches_explicit_through_the_engine() {
+        // A clique-heavy bipartite-ish pattern: rows share items heavily,
+        // so the implicit enumeration order differs wildly from the
+        // explicit (sorted) order — the canonical within-parent sort must
+        // absorb the difference for both strategies.
+        let rows: Vec<Vec<u32>> = (0..40u32)
+            .map(|i| vec![i % 4, 4 + i % 7, 11 + (i / 3) % 5])
+            .collect();
+        let a = cahd_sparse::CsrMatrix::from_rows(&rows, 16);
+        let ex = RowGraph::build_explicit(&a);
+        let im = cahd_sparse::ImplicitRowGraph::new(&a);
+        for strategy in [OrderingStrategy::Rcm, OrderingStrategy::Bfs] {
+            let reference = band_order_seq(&ex, strategy);
+            for threads in [1usize, 8] {
+                let p = band_order_with(&im, strategy, threads, 1, &Recorder::disabled());
+                assert_eq!(
+                    reference.new_to_old_slice(),
+                    p.new_to_old_slice(),
+                    "{} at {threads} threads",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    use cahd_sparse::RowGraph;
 }

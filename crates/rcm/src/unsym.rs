@@ -14,10 +14,10 @@
 use std::time::{Duration, Instant};
 
 use cahd_sparse::bandwidth::{rect_band_stats, RectBandStats};
-use cahd_sparse::{CsrMatrix, Permutation, RowGraph};
+use cahd_sparse::{resolve_hub_cap, CsrMatrix, Permutation, RowGraph, RowGraphMode};
 
 use crate::ordering::cluster_order;
-use crate::parallel::{band_order_seq_traced, band_order_traced};
+use crate::parallel::band_order_traced;
 use crate::rcm::reverse_cuthill_mckee;
 use crate::strategy::OrderingStrategy;
 
@@ -69,6 +69,17 @@ pub struct UnsymOptions {
     /// default). Resolved against the `CAHD_ORDERING` environment
     /// variable once per reduction.
     pub ordering: OrderingStrategy,
+    /// `A x A^T` representation policy ([`RowGraphMode::Auto`] by
+    /// default). Resolved against the `CAHD_ROWGRAPH` environment
+    /// variable once per reduction.
+    pub rowgraph: RowGraphMode,
+    /// Optional hub-item support cap for the implicit representation:
+    /// items whose support exceeds the cap are skipped during neighbor
+    /// enumeration (see [`cahd_sparse::ImplicitRowGraph::with_options`]).
+    /// Overridable via `CAHD_HUB_CAP`. A cap under [`RowGraphMode::Auto`]
+    /// forces the implicit representation so it is never silently
+    /// ignored.
+    pub hub_cap: Option<u32>,
 }
 
 impl Default for UnsymOptions {
@@ -79,6 +90,8 @@ impl Default for UnsymOptions {
             aat_method: AatMethod::Product,
             threads: 1,
             ordering: OrderingStrategy::Rcm,
+            rowgraph: RowGraphMode::Auto,
+            hub_cap: None,
         }
     }
 }
@@ -136,19 +149,18 @@ pub fn reduce_unsymmetric_traced(
             (cluster_order(a, opts.threads), None, false)
         }
         AatMethod::Product => {
+            let mode = opts.rowgraph.resolved();
+            let hub_cap = resolve_hub_cap(opts.hub_cap);
             let rg = {
                 let _s = rec.span("pipeline/rcm/aat_build");
-                RowGraph::build_traced(a, opts.edge_budget, opts.threads, rec)
+                RowGraph::build_mode_traced(a, mode, opts.edge_budget, hub_cap, opts.threads, rec)
             };
             let explicit = rg.is_explicit();
             let _s = rec.span("pipeline/rcm/order");
-            let perm = match &rg {
-                // The materialized graph is `Sync`: frontier-parallel.
-                RowGraph::Explicit(g) => band_order_traced(g, strategy, opts.threads, rec),
-                // The implicit oracle carries interior-mutable scratch;
-                // the sequential driver emits identical counters.
-                RowGraph::Implicit(ig) => band_order_seq_traced(ig, strategy, rec),
-            };
+            // Both representations are `Sync` oracles now: the frontier-
+            // parallel engine runs either one, with byte-identical output
+            // and counters (hub cap off).
+            let perm = band_order_traced(&rg, strategy, opts.threads, rec);
             (perm, None, explicit)
         }
         AatMethod::Sum => {

@@ -12,9 +12,9 @@
 //!    emit a bijective permutation that keeps every connected component
 //!    contiguous (graph strategies) on random sparse graphs including
 //!    disconnected, star, path and empty-row shapes.
-//! 3. **Driver agreement**: the sequential driver (used for the
-//!    non-`Sync` implicit oracle) and the atomic driver produce identical
-//!    bytes and identical `rcm.*` counters for every strategy.
+//! 3. **Driver agreement**: the sequential driver (the plain-marks
+//!    reference twin) and the atomic driver produce identical bytes and
+//!    identical `rcm.*` counters for every strategy.
 //! 4. **Counter identities**: `rcm.frontier_parallel +
 //!    rcm.frontier_sequential == rcm.levels >= rcm.bfs_levels`, at every
 //!    thread count — the `CAHD-O001` contract.

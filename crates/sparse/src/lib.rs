@@ -16,8 +16,9 @@
 //! * [`graph::Graph`] — undirected adjacency built from a symmetric pattern,
 //!   with degrees and connected components,
 //! * [`aat::RowGraph`] — the pattern of `A x A^T` (two rows are adjacent iff
-//!   they share a column), either materialized or evaluated lazily through an
-//!   inverted index when the explicit edge set would be too large,
+//!   they share a column), either materialized or evaluated lazily through a
+//!   `Sync` inverted index ([`aat::ImplicitRowGraph`]) when the explicit edge
+//!   set would be too large, selected by [`aat::RowGraphMode`],
 //! * [`bandwidth`] — bandwidth/profile metrics for square graphs and
 //!   rectangular matrices under row+column permutations,
 //! * [`viz`] — density-grid renderers used to reproduce the paper's Fig. 6
@@ -30,7 +31,10 @@ pub mod graph;
 pub mod perm;
 pub mod viz;
 
-pub use aat::{NeighborOracle, RowGraph};
+pub use aat::{
+    resolve_hub_cap, ImplicitRowGraph, NeighborOracle, OracleScratch, ParNeighborOracle, RowGraph,
+    RowGraphMode, SeqOracle,
+};
 pub use bandwidth::{rect_band_stats, GraphBandStats, RectBandStats};
 pub use csr::CsrMatrix;
 pub use graph::Graph;

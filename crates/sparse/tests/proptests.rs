@@ -1,6 +1,6 @@
 //! Property-based tests for the sparse substrate.
 
-use cahd_sparse::{CsrMatrix, Graph, NeighborOracle, Permutation, RowGraph};
+use cahd_sparse::{CsrMatrix, Graph, NeighborOracle, ParNeighborOracle, Permutation, RowGraph};
 use proptest::prelude::*;
 
 /// Strategy: a random binary matrix as per-row column lists.
@@ -64,15 +64,16 @@ proptest! {
         let m = CsrMatrix::from_rows(&rows, n_cols);
         let ex = RowGraph::build_explicit(&m);
         let im = RowGraph::build_implicit(&m);
+        let mut scratch = im.new_scratch();
         for v in 0..m.n_rows() {
             let mut a = Vec::new();
             let mut b = Vec::new();
             NeighborOracle::neighbors_into(&ex, v, &mut a);
-            im.neighbors_into(v, &mut b);
+            im.neighbors_scratch(v, &mut scratch, &mut b);
             a.sort_unstable();
             b.sort_unstable();
             prop_assert_eq!(&a, &b, "vertex {}", v);
-            prop_assert_eq!(NeighborOracle::degree(&ex, v), im.degree(v));
+            prop_assert_eq!(NeighborOracle::degree(&ex, v), ParNeighborOracle::degree(&im, v));
         }
     }
 
