@@ -34,12 +34,14 @@
 //!     published: &result.published,
 //!     p: 2,
 //!     trace: None,
+//!     attack: None,
 //! });
 //! assert!(report.is_clean());
 //! ```
 
 use cahd_core::PublishedDataset;
 use cahd_data::{SensitiveSet, TransactionSet};
+use cahd_eval::AttackPlan;
 use cahd_obs::TraceReport;
 
 mod diagnostic;
@@ -48,8 +50,8 @@ mod report;
 
 pub use diagnostic::{Diagnostic, Severity};
 pub use passes::{
-    BandQuality, ConfigSanity, Coverage, Feasibility, MemoryAudit, Pass, PrivacyDegree,
-    QidFidelity, Recovery, SensitiveSummary, ShardMerge, TraceObs,
+    AttackRegression, BandQuality, ConfigSanity, Coverage, Feasibility, MemoryAudit, Pass,
+    PrivacyDegree, QidFidelity, Recovery, SensitiveSummary, ShardMerge, TraceObs,
 };
 pub use report::CheckReport;
 
@@ -68,6 +70,10 @@ pub struct CheckInput<'a> {
     /// (`--trace-json`), when one is available. Passes that audit the
     /// trace ([`TraceObs`]) are no-ops without it.
     pub trace: Option<&'a TraceReport>,
+    /// The attack plan the [`AttackRegression`] pass replays. `None`
+    /// uses [`cahd_eval::AttackPlan::default`] (seed 42, the committed
+    /// regression budget).
+    pub attack: Option<&'a AttackPlan>,
 }
 
 /// An ordered collection of passes, run as one unit.
@@ -111,8 +117,8 @@ impl Registry {
 
 /// The full built-in registry: config sanity, feasibility, coverage, QID
 /// fidelity, sensitive summaries, privacy degree, shard-merge integrity,
-/// band quality, trace-report integrity, memory-audit and recovery
-/// accounting.
+/// band quality, trace-report integrity, memory-audit, recovery
+/// accounting and the attack-regression replay.
 pub fn default_registry() -> Registry {
     Registry::new()
         .register(ConfigSanity)
@@ -126,6 +132,7 @@ pub fn default_registry() -> Registry {
         .register(TraceObs)
         .register(MemoryAudit)
         .register(Recovery)
+        .register(AttackRegression)
 }
 
 #[cfg(test)]
@@ -163,6 +170,7 @@ mod tests {
             published: pub_,
             p,
             trace: None,
+            attack: None,
         })
     }
 
@@ -171,7 +179,7 @@ mod tests {
         let (data, sens, pub_) = setup();
         let report = run(&data, &sens, &pub_, 2);
         assert!(report.is_clean(), "{}", report.render_human());
-        assert_eq!(report.passes_run.len(), 11);
+        assert_eq!(report.passes_run.len(), 12);
     }
 
     #[test]
@@ -206,14 +214,14 @@ mod tests {
         assert!(report
             .diagnostics
             .iter()
-            .any(|d| d.code == "CAHD-A001" && d.severity == Severity::Error));
+            .any(|d| d.code == "CAHD-G001" && d.severity == Severity::Error));
     }
 
     #[test]
     fn feasibility_pass_flags_overloaded_item() {
         let (data, sens, pub_) = setup();
         // p = 4 over 6 transactions: support(4) = 1, 1*4 <= 6 is fine, but
-        // 2p > n triggers the A001 warning; force an F001 by raising p to 7.
+        // 2p > n triggers the G001 warning; force an F001 by raising p to 7.
         let report = run(&data, &sens, &pub_, 7);
         assert!(
             report
@@ -301,6 +309,7 @@ mod tests {
             published: &pub_,
             p: 2,
             trace: None,
+            attack: None,
         });
         assert!(!report.is_clean());
         let msgs: Vec<&str> = report
@@ -342,6 +351,7 @@ mod tests {
             published: &res.published,
             p: 2,
             trace: Some(&trace),
+            attack: None,
         });
         assert!(report.is_clean(), "{}", report.render_human());
         assert!(report.passes_run.contains(&"trace-obs"));
@@ -360,6 +370,7 @@ mod tests {
             published: &res.published,
             p: 2,
             trace: Some(&bad),
+            attack: None,
         });
         assert!(!report.is_clean());
         assert!(report
@@ -382,6 +393,7 @@ mod tests {
             published: &res.published,
             p: 2,
             trace: Some(&bad),
+            attack: None,
         });
         assert!(!report.is_clean());
         assert!(
@@ -407,6 +419,7 @@ mod tests {
             published: &res.published,
             p: 2,
             trace: Some(&bad),
+            attack: None,
         });
         assert!(!report.is_clean());
         assert!(
@@ -457,6 +470,7 @@ mod tests {
             published: &robust.result.published,
             p: 2,
             trace,
+            attack: None,
         };
         let report = default_registry().run(&input(Some(&trace)));
         assert!(report.is_clean(), "{}", report.render_human());
@@ -546,6 +560,7 @@ mod tests {
             published: &res.published,
             p: 2,
             trace,
+            attack: None,
         };
         let report = default_registry().run(&input(Some(&trace)));
         assert!(report.is_clean(), "{}", report.render_human());
@@ -558,6 +573,7 @@ mod tests {
                 published: &res.published,
                 p: 2,
                 trace: Some(trace),
+                attack: None,
             })
         };
 
@@ -624,6 +640,62 @@ mod tests {
     }
 
     #[test]
+    fn attack_pass_flags_leaky_release_and_accepts_clean_one() {
+        let (data, sens, pub_) = setup();
+        // Clean CAHD release: the replay stays within 1/2.
+        let report = Registry::new().register(AttackRegression).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &pub_,
+            p: 2,
+            trace: None,
+            attack: None,
+        });
+        assert!(report.is_clean(), "{}", report.render_human());
+
+        // A leaky regrouping: row 0 (which carries sensitive item 4) is
+        // published alone, so its posterior is 1.0 > 1/2. The vulnerable
+        // scan is deterministic, so this fires on every run.
+        let leaky = PublishedDataset {
+            n_items: 6,
+            sensitive_items: vec![4, 5],
+            groups: vec![
+                cahd_core::AnonymizedGroup::from_members(&data, &sens, &[0]),
+                cahd_core::AnonymizedGroup::from_members(&data, &sens, &[1, 2, 3, 4, 5]),
+            ],
+        };
+        let report = Registry::new().register(AttackRegression).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &leaky,
+            p: 2,
+            trace: None,
+            attack: None,
+        });
+        assert!(!report.is_clean(), "{}", report.render_human());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == "CAHD-A001" && d.severity == Severity::Error));
+
+        // A custom plan travels through CheckInput.
+        let plan = cahd_eval::AttackPlan {
+            ks: vec![1],
+            trials: 50,
+            ..cahd_eval::AttackPlan::default()
+        };
+        let report = Registry::new().register(AttackRegression).run(&CheckInput {
+            data: &data,
+            sensitive: &sens,
+            published: &leaky,
+            p: 2,
+            trace: None,
+            attack: Some(&plan),
+        });
+        assert!(!report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
     fn custom_registry_runs_selected_passes_only() {
         let (data, sens, mut pub_) = setup();
         pub_.groups[0].qid_rows[0] = vec![3];
@@ -634,6 +706,7 @@ mod tests {
             published: &pub_,
             p: 2,
             trace: None,
+            attack: None,
         });
         // The QID tampering is invisible to the privacy pass.
         assert!(report.is_clean());

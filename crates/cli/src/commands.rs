@@ -18,8 +18,9 @@ use cahd_data::{
     io, profiles, DatasetStats, ItemId, QuestConfig, QuestGenerator, SensitiveSet, TransactionSet,
 };
 use cahd_eval::{
-    evaluate_workload, evaluate_workload_traced, generate_workload_seeded,
-    reidentification_probability,
+    derive_seed, evaluate_workload, evaluate_workload_traced, generate_workload_seeded,
+    posterior_violations, reidentification_probability, run_attack_suite, run_attack_suite_traced,
+    unique_match_violations, AttackPlan, AttackReport, AttackTarget,
 };
 use cahd_obs::{Recorder, TraceReport};
 use cahd_rcm::{OrderingStrategy, RowGraphMode};
@@ -31,6 +32,25 @@ use crate::CliError;
 pub fn stats(args: &Args) -> Result<String, CliError> {
     let data = load(args.positional(0, "data.dat")?)?;
     Ok(format!("{}\n", DatasetStats::compute(&data)))
+}
+
+/// Resolves the Monte-Carlo seed shared by every randomized command:
+/// `--seed` wins, then the `CAHD_SEED` environment variable, then 42.
+/// Commands derive per-experiment streams from this one value with
+/// [`cahd_eval::derive_seed`], so a single setting reproduces a whole
+/// run.
+fn resolve_seed(args: &Args) -> Result<u64, CliError> {
+    if let Some(v) = args.value("seed") {
+        return v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--seed: cannot parse {v:?}")));
+    }
+    if let Ok(v) = std::env::var("CAHD_SEED") {
+        return v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("CAHD_SEED: cannot parse {v:?}")));
+    }
+    Ok(42)
 }
 
 /// Flags accepted by [`generate`].
@@ -76,7 +96,7 @@ pub fn generate(args: &Args) -> Result<String, CliError> {
         .value("out")
         .ok_or_else(|| CliError::Usage("--out <file.dat> is required".into()))?;
     let scale: f64 = args.parse_or("scale", 1.0)?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let seed: u64 = resolve_seed(args)?;
     let data = match kind {
         "bms1" => profiles::bms1_like(scale, seed),
         "bms2" => profiles::bms2_like(scale, seed),
@@ -133,10 +153,10 @@ pub fn audit(args: &Args) -> Result<String, CliError> {
     let data = load(args.positional(0, "data.dat")?)?;
     let max_k: usize = args.parse_or("max-k", 4)?;
     let trials: usize = args.parse_or("trials", 10_000)?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let seed: u64 = resolve_seed(args)?;
     let mut out = String::from("known items -> re-identification probability\n");
     for k in 1..=max_k {
-        let mut rng = StdRng::seed_from_u64(seed ^ k as u64);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, k as u64));
         match reidentification_probability(&data, None, k, trials, &mut rng) {
             Some(p) => out.push_str(&format!("{k:>11} -> {:.2}%\n", p * 100.0)),
             None => out.push_str(&format!("{k:>11} -> (no transaction has {k} items)\n")),
@@ -148,9 +168,9 @@ pub fn audit(args: &Args) -> Result<String, CliError> {
         out.push_str("\nlinkage attack, mean posterior on the true sensitive item:\n");
         out.push_str("known items ->      raw  released  released max\n");
         for k in 1..=max_k {
-            let mut rng = StdRng::seed_from_u64(seed ^ (100 + k as u64));
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, 100 + k as u64));
             let raw = cahd_eval::attack_raw(&data, &sensitive, k, trials.min(2_000), &mut rng);
-            let mut rng = StdRng::seed_from_u64(seed ^ (100 + k as u64));
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, 100 + k as u64));
             let rel = cahd_eval::attack_published(
                 &data,
                 &sensitive,
@@ -385,7 +405,7 @@ pub fn anonymize(args: &Args) -> Result<String, CliError> {
             Ok(p)
         }
     })?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let seed: u64 = resolve_seed(args)?;
     let tracing = tracing_requested(args);
     if args.has("weighted") {
         return anonymize_weighted_cmd(args, p, seed);
@@ -850,6 +870,10 @@ pub const CHECK_FLAGS: &[FlagSpec] = &[
         name: "trace",
         takes_value: true,
     },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
 ];
 
 /// `check <data.dat> <release.json> --p P [--json] [--trace trace.json]`:
@@ -871,12 +895,17 @@ pub fn check(args: &Args) -> Result<String, CliError> {
         None => None,
     };
     let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+    let plan = AttackPlan {
+        seed: resolve_seed(args)?,
+        ..AttackPlan::default()
+    };
     let report = cahd_check::default_registry().run(&cahd_check::CheckInput {
         data: &data,
         sensitive: &sensitive,
         published: &release,
         p,
         trace: trace.as_ref(),
+        attack: Some(&plan),
     });
     let out = if args.has("json") {
         format!("{}\n", serde_json::to_string(&report)?)
@@ -943,15 +972,22 @@ pub const EVALUATE_FLAGS: &[FlagSpec] = &[
         name: "seed",
         takes_value: true,
     },
+    FlagSpec {
+        name: "attack",
+        takes_value: false,
+    },
 ];
 
 /// `evaluate <data.dat> <release.json>`: reconstruction-error summary.
+/// With `--attack`, the deterministic adversary suite runs against the
+/// raw data and the release and the attacker-success curves are printed
+/// alongside the KL summary (see `docs/ATTACKS.md`).
 pub fn evaluate(args: &Args) -> Result<String, CliError> {
     let data = load(args.positional(0, "data.dat")?)?;
     let release = load_release(args.positional(1, "release.json")?)?;
     let r: usize = args.parse_or("r", 4)?;
     let n_queries: usize = args.parse_or("queries", 100)?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let seed: u64 = resolve_seed(args)?;
     let sensitive = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
     let queries = generate_workload_seeded(&data, &sensitive, r, n_queries, seed);
     if queries.is_empty() {
@@ -960,10 +996,226 @@ pub fn evaluate(args: &Args) -> Result<String, CliError> {
         ));
     }
     let s = evaluate_workload(&data, &release, &queries);
-    Ok(format!(
+    let mut out = format!(
         "reconstruction error over {} queries (r = {r}): mean KL {:.4}, median {:.4}, max {:.4}, std {:.4}\n",
         s.n_queries, s.mean_kl, s.median_kl, s.max_kl, s.std_kl
-    ))
+    );
+    if args.has("attack") {
+        // Gate against the degree the release actually achieves; an
+        // unbounded degree (no sensitive occurrence) has nothing to test.
+        let p = release.privacy_degree().unwrap_or(0);
+        let plan = AttackPlan {
+            seed,
+            ..AttackPlan::default()
+        };
+        let targets = [
+            AttackTarget::raw(),
+            AttackTarget::release("release", &release),
+        ];
+        let report = run_attack_suite(&data, &sensitive, p, &targets, &plan);
+        out.push('\n');
+        out.push_str(&render_attack_human(&report, p));
+    }
+    Ok(out)
+}
+
+/// Flags accepted by [`attack`].
+pub const ATTACK_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "p",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "json",
+        takes_value: false,
+    },
+    FlagSpec {
+        name: "seed",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "k",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "trials",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "attacker",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "phi",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "wrong",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "epsilon",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "max-unique",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "out",
+        takes_value: true,
+    },
+    FlagSpec {
+        name: "trace-json",
+        takes_value: true,
+    },
+];
+
+/// Renders an [`AttackReport`] for humans: one success-curve row per
+/// (attacker, target, k), then the vulnerable-population scans and any
+/// multi-release intersections.
+fn render_attack_human(report: &AttackReport, p: usize) -> String {
+    let mut out = format!(
+        "attack replay: seed {}, posterior bound 1/{p}\n",
+        report.seed
+    );
+    out.push_str(
+        "attacker      target            k  trials  matches  unique  success  max post.\n",
+    );
+    for curve in &report.curves {
+        for pt in &curve.points {
+            out.push_str(&format!(
+                "{:<12}  {:<14} {:>4} {:>7} {:>8} {:>7} {:>7.1}% {:>10.4}\n",
+                curve.attacker,
+                curve.target,
+                pt.k,
+                pt.trials,
+                pt.matches,
+                pt.unique_matches,
+                pt.success_rate() * 100.0,
+                pt.max_posterior,
+            ));
+        }
+    }
+    for v in &report.vulnerable {
+        out.push_str(&format!(
+            "vulnerable scan on `{}`: {}/{} rows within {:.0}% of the 1/{p} bound (max posterior {:.4})\n",
+            v.target,
+            v.vulnerable_rows,
+            v.rows_scanned,
+            v.epsilon * 100.0,
+            v.max_posterior,
+        ));
+    }
+    for i in &report.intersections {
+        out.push_str(&format!(
+            "intersection of {:?} at k = {}: {}/{} trials composed, {} narrowed, {} unique, max composed posterior {:.4}\n",
+            i.targets,
+            i.k,
+            i.composed_trials,
+            i.trials,
+            i.narrowed_trials,
+            i.unique_matches,
+            i.max_composed_posterior,
+        ));
+    }
+    out
+}
+
+/// `attack <data.dat> <release.json> [more.json ...] --p P`: replay the
+/// deterministic adversary suite (background-knowledge scoring, linkage,
+/// vulnerable-population scan, and — with several releases — the
+/// multi-release intersection attack) against the raw data and every
+/// given release. Prints attacker-success curves; `--json` emits the
+/// whole [`AttackReport`] instead, `--out` writes it to disk and
+/// `--trace-json` writes the audited `eval.attack_*` observability
+/// report. The command fails when any release posterior exceeds
+/// `1/p + tolerance` or the unique-match budget (`--max-unique`) is
+/// blown — the same gate as the `CAHD-A001` check pass.
+pub fn attack(args: &Args) -> Result<String, CliError> {
+    let data = load(args.positional(0, "data.dat")?)?;
+    let p: usize = args.parse_or("p", 0).and_then(|p: usize| {
+        if p == 0 {
+            Err(CliError::Usage("--p <degree> is required".into()))
+        } else {
+            Ok(p)
+        }
+    })?;
+    if args.n_positionals() < 2 {
+        return Err(CliError::Usage("missing <release.json>".into()));
+    }
+    let mut releases: Vec<(String, PublishedDataset)> = Vec::new();
+    for i in 1..args.n_positionals() {
+        let path = args.positional(i, "release.json")?;
+        let name = Path::new(path).file_stem().map_or_else(
+            || format!("release{i}"),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        releases.push((name, load_release(path)?));
+    }
+    let sensitive = SensitiveSet::new(releases[0].1.sensitive_items.clone(), data.n_items());
+    for (name, rel) in &releases {
+        if rel.sensitive_items != releases[0].1.sensitive_items {
+            return Err(CliError::Usage(format!(
+                "release `{name}` declares different sensitive items than `{}`",
+                releases[0].0
+            )));
+        }
+    }
+
+    let mut plan = AttackPlan {
+        seed: resolve_seed(args)?,
+        ..AttackPlan::default()
+    };
+    if let Some(ks) = args.parse_list("k")? {
+        plan.ks = ks.into_iter().map(|k| k as usize).collect();
+    }
+    plan.trials = args.parse_or("trials", plan.trials)?;
+    plan.phi = args.parse_or("phi", plan.phi)?;
+    plan.wrong_items = args.parse_or("wrong", plan.wrong_items)?;
+    plan.epsilon = args.parse_or("epsilon", plan.epsilon)?;
+    plan.max_unique_match_rate = args.parse_or("max-unique", plan.max_unique_match_rate)?;
+    match args.value("attacker") {
+        None | Some("all") => {}
+        Some(a) if plan.wants(a) => plan = plan.with_attackers(vec![a.to_string()]),
+        Some(a) => return Err(CliError::Usage(format!(
+            "unknown attacker {a:?}; expected all, background, linkage, intersection or vulnerable"
+        ))),
+    }
+
+    let mut targets = vec![AttackTarget::raw()];
+    for (name, rel) in &releases {
+        targets.push(AttackTarget::release(name, rel));
+    }
+    let report = if let Some(path) = args.value("trace-json") {
+        let rec = Recorder::new();
+        let report = run_attack_suite_traced(&data, &sensitive, p, &targets, &plan, &rec);
+        std::fs::write(path, serde_json::to_string_pretty(&rec.snapshot())?)?;
+        report
+    } else {
+        run_attack_suite(&data, &sensitive, p, &targets, &plan)
+    };
+    if let Some(path) = args.value("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+    }
+
+    let mut violations = posterior_violations(&report, p, plan.tolerance);
+    violations.extend(unique_match_violations(&report, plan.max_unique_match_rate));
+    let mut out = if args.has("json") {
+        format!("{}\n", serde_json::to_string(&report)?)
+    } else {
+        render_attack_human(&report, p)
+    };
+    if violations.is_empty() {
+        Ok(out)
+    } else {
+        if !args.has("json") {
+            for v in &violations {
+                out.push_str(&format!("VIOLATION: {v}\n"));
+            }
+        }
+        Err(CliError::Check(out))
+    }
 }
 
 /// Flags accepted by [`profile`].
@@ -1048,7 +1300,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
             Ok(p)
         }
     })?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let seed: u64 = resolve_seed(args)?;
     let data = load(args.positional(0, "data.dat")?)?;
     let sensitive = sensitive_from_args(args, &data, p, seed)?;
     let cfg = anonymizer_config_from_args(args, p)?;
@@ -1080,6 +1332,7 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
             published: &res.published,
             p,
             trace: Some(&trace),
+            attack: None,
         });
     if !audit.is_clean() {
         return Err(CliError::Run(format!(
@@ -1875,6 +2128,200 @@ mod tests {
         .unwrap();
         let rel = load_release(&rel_f).unwrap();
         assert!(rel.groups.iter().all(|g| g.members.is_empty()));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    /// A small dataset + CAHD release pair on disk for the attack tests.
+    fn attack_fixture(tag: &str) -> (String, String) {
+        let data_f = tmp(&format!("atk_{tag}.dat"));
+        let rel_f = tmp(&format!("atk_{tag}.json"));
+        generate(&parse(
+            GENERATE_FLAGS,
+            &[
+                "quest",
+                "--out",
+                &data_f,
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--seed",
+                "9",
+            ],
+        ))
+        .unwrap();
+        anonymize(&parse(
+            ANONYMIZE_FLAGS,
+            &[&data_f, "--p", "4", "--random-m", "3", "--out", &rel_f],
+        ))
+        .unwrap();
+        (data_f, rel_f)
+    }
+
+    #[test]
+    fn attack_flow_clean_release_passes_the_gate() {
+        let (data_f, rel_f) = attack_fixture("flow");
+        let out = attack(&parse(
+            ATTACK_FLAGS,
+            &[
+                &data_f, &rel_f, "--p", "4", "--seed", "7", "--k", "1,2", "--trials", "150",
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("attack replay: seed 7"), "{out}");
+        assert!(out.contains("background"), "{out}");
+        assert!(out.contains("vulnerable scan"), "{out}");
+        // Same seed, same numbers — the replay is deterministic.
+        let again = attack(&parse(
+            ATTACK_FLAGS,
+            &[
+                &data_f, &rel_f, "--p", "4", "--seed", "7", "--k", "1,2", "--trials", "150",
+            ],
+        ))
+        .unwrap();
+        assert_eq!(out, again);
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn attack_json_and_report_out() {
+        let (data_f, rel_f) = attack_fixture("json");
+        let report_f = tmp("atk_report.json");
+        let out = attack(&parse(
+            ATTACK_FLAGS,
+            &[
+                &data_f,
+                &rel_f,
+                "--p",
+                "4",
+                "--json",
+                "--trials",
+                "100",
+                "--attacker",
+                "background",
+                "--out",
+                &report_f,
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("\"curves\""), "{out}");
+        assert!(!out.contains("linkage"), "single-attacker run: {out}");
+        let written = std::fs::read_to_string(&report_f).unwrap();
+        assert!(written.contains("\"curves\""));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+        std::fs::remove_file(&report_f).ok();
+    }
+
+    #[test]
+    fn attack_gates_leaky_release() {
+        let (data_f, rel_f) = attack_fixture("leaky");
+        // Tamper: publish the first group's rows as singleton groups, so a
+        // sensitive-bearing row gets posterior 1.0 > 1/4.
+        let data = load(&data_f).unwrap();
+        let release = load_release(&rel_f).unwrap();
+        let sens = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+        let mut groups = Vec::new();
+        for g in &release.groups {
+            if groups.is_empty() && g.sensitive_counts.iter().any(|&(_, c)| c > 0) {
+                for &m in &g.members {
+                    groups.push(AnonymizedGroup::from_members(&data, &sens, &[m]));
+                }
+            } else {
+                groups.push(g.clone());
+            }
+        }
+        let leaky = PublishedDataset {
+            n_items: release.n_items,
+            sensitive_items: release.sensitive_items.clone(),
+            groups,
+        };
+        let leaky_f = tmp("atk_leaky_rel.json");
+        std::fs::write(&leaky_f, serde_json::to_string(&leaky).unwrap()).unwrap();
+        let res = attack(&parse(
+            ATTACK_FLAGS,
+            &[&data_f, &leaky_f, "--p", "4", "--trials", "100"],
+        ));
+        match res {
+            Err(CliError::Check(out)) => assert!(out.contains("VIOLATION"), "{out}"),
+            other => panic!("leaky release must fail the gate, got {other:?}"),
+        }
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+        std::fs::remove_file(&leaky_f).ok();
+    }
+
+    #[test]
+    fn attack_intersection_of_two_releases() {
+        let (data_f, rel_f) = attack_fixture("inter");
+        // Second release of the same data: PermMondrian over the same
+        // sensitive items.
+        let data = load(&data_f).unwrap();
+        let release = load_release(&rel_f).unwrap();
+        let sens = SensitiveSet::new(release.sensitive_items.clone(), data.n_items());
+        let (pm, _) = perm_mondrian(&data, &sens, &PmConfig::new(4)).unwrap();
+        let pm_f = tmp("atk_inter_pm.json");
+        std::fs::write(&pm_f, serde_json::to_string(&pm).unwrap()).unwrap();
+        let out = attack(&parse(
+            ATTACK_FLAGS,
+            &[
+                &data_f, &rel_f, &pm_f, "--p", "4", "--trials", "60", "--k", "2",
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("intersection of"), "{out}");
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+        std::fs::remove_file(&pm_f).ok();
+    }
+
+    #[test]
+    fn attack_usage_errors() {
+        let (data_f, rel_f) = attack_fixture("usage");
+        assert!(matches!(
+            attack(&parse(ATTACK_FLAGS, &[&data_f, &rel_f])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            attack(&parse(ATTACK_FLAGS, &[&data_f, "--p", "4"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            attack(&parse(
+                ATTACK_FLAGS,
+                &[&data_f, &rel_f, "--p", "4", "--attacker", "bogus"]
+            )),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn evaluate_attack_flag_appends_curves() {
+        let (data_f, rel_f) = attack_fixture("evalatk");
+        let out = evaluate(&parse(
+            EVALUATE_FLAGS,
+            &[&data_f, &rel_f, "--r", "3", "--attack"],
+        ))
+        .unwrap();
+        assert!(out.contains("mean KL"), "{out}");
+        assert!(out.contains("attack replay"), "{out}");
+        std::fs::remove_file(&data_f).ok();
+        std::fs::remove_file(&rel_f).ok();
+    }
+
+    #[test]
+    fn check_runs_attack_regression_pass() {
+        let (data_f, rel_f) = attack_fixture("check");
+        let out = check(&parse(
+            CHECK_FLAGS,
+            &[&data_f, &rel_f, "--p", "4", "--json", "--seed", "3"],
+        ))
+        .unwrap();
+        assert!(out.contains("attack-regression"), "{out}");
         std::fs::remove_file(&data_f).ok();
         std::fs::remove_file(&rel_f).ok();
     }

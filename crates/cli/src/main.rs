@@ -42,13 +42,22 @@ usage:
                      [--strip-members] [--out release.json] [--seed N]
   cahd-cli report    <release.json>
   cahd-cli verify    <data.dat> <release.json> --p P
-  cahd-cli check     <data.dat> <release.json> --p P [--json]
+  cahd-cli check     <data.dat> <release.json> --p P [--json] [--seed N]
                      [--trace trace.json]  (audit a --trace-json report too)
-                     (all diagnostics in one run; see docs/CHECKS.md)
+                     (all diagnostics in one run, including the CAHD-A001
+                     attack replay; see docs/CHECKS.md)
   cahd-cli lint      [--json] [--root DIR]
                      (static analysis of this workspace's own sources;
                      see docs/LINTS.md)
+  cahd-cli attack    <data.dat> <release.json> [more.json ...] --p P [--json]
+                     [--seed N] [--k 1,2,4] [--trials N]
+                     [--attacker all|background|linkage|intersection|vulnerable]
+                     [--phi F] [--wrong N] [--epsilon F] [--max-unique F]
+                     [--out report.json] [--trace-json trace.json]
+                     (deterministic adversary replay; fails when a release
+                     posterior exceeds 1/p — see docs/ATTACKS.md)
   cahd-cli evaluate  <data.dat> <release.json> [--r R] [--queries N] [--seed N]
+                     [--attack]  (adds attacker-success curves)
   cahd-cli profile   <data.dat> --p P (--sensitive 1,2,3 | --random-m M)
                      [--alpha A] [--no-rcm] [--shards K] [--threads T]
                      [--kernel adaptive|sparse|dense] [--ordering rcm|bfs|cluster]
@@ -77,6 +86,7 @@ fn main() -> ExitCode {
         "check" => Args::parse(rest, commands::CHECK_FLAGS).and_then(|a| commands::check(&a)),
         "lint" => Args::parse(rest, commands::LINT_FLAGS).and_then(|a| commands::lint(&a)),
         "report" => Args::parse(rest, &[]).and_then(|a| commands::report(&a)),
+        "attack" => Args::parse(rest, commands::ATTACK_FLAGS).and_then(|a| commands::attack(&a)),
         "evaluate" => {
             Args::parse(rest, commands::EVALUATE_FLAGS).and_then(|a| commands::evaluate(&a))
         }

@@ -177,6 +177,7 @@ fn corrupt_row_injection_quarantines_exactly_the_planned_rows() {
                 published: &robust.result.published,
                 p: P,
                 trace: Some(trace),
+                attack: None,
             });
             assert!(
                 report.is_clean(),
@@ -219,6 +220,7 @@ fn combined_faults_still_produce_a_clean_auditable_release() {
             published: &robust.result.published,
             p: P,
             trace: Some(trace),
+            attack: None,
         });
         assert!(
             report.is_clean(),

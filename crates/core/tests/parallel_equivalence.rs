@@ -97,6 +97,7 @@ proptest! {
             published: &published,
             p: cfg.p,
             trace: None,
+            attack: None,
         });
         prop_assert!(
             report.is_clean(),

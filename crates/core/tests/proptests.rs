@@ -181,6 +181,7 @@ proptest! {
                     published: $published,
                     p,
                     trace: None,
+                    attack: None,
                 });
                 prop_assert!(report.is_clean(), "{}:\n{}", $what, report.render_human());
             }};

@@ -18,6 +18,7 @@
 //! * [`runner`] — workload-level aggregation (mean/median KL over the 100
 //!   random queries per setting used throughout Section V).
 
+pub mod adversary;
 pub mod attack;
 pub mod bootstrap;
 pub mod cells;
@@ -30,6 +31,11 @@ pub mod reident;
 pub mod rules;
 pub mod runner;
 
+pub use adversary::{
+    derive_seed, posterior_violations, run_attack_suite, run_attack_suite_traced,
+    unique_match_violations, AttackPlan, AttackReport, AttackTarget, CurvePoint,
+    IntersectionReport, SuccessCurve, VulnerableReport, VulnerableRow,
+};
 pub use attack::{attack_published, attack_raw, AttackOutcome};
 pub use bootstrap::{bootstrap_mean_ci, paired_bootstrap_less, BootstrapInterval};
 pub use estimate::{estimate_count, CountEstimate};

@@ -18,7 +18,9 @@ use cahd_data::{ItemId, SensitiveSet, TransactionSet};
 /// purchases). Transactions with fewer than `k` eligible items cannot be
 /// attacked this way and are excluded from sampling.
 ///
-/// Returns `None` when no transaction has `k` eligible items.
+/// Returns `None` when no transaction has `k` eligible items (in
+/// particular when every item is sensitive and nothing can be "known"),
+/// and for the degenerate `k == 0`.
 pub fn reidentification_probability<R: Rng + ?Sized>(
     data: &TransactionSet,
     sensitive: Option<&SensitiveSet>,
@@ -26,7 +28,9 @@ pub fn reidentification_probability<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Option<f64> {
-    assert!(k >= 1, "k must be at least 1");
+    if k == 0 {
+        return None;
+    }
     let inv = data.inverted_index();
 
     // Eligible items per transaction (QID items when a sensitive set is
@@ -156,5 +160,25 @@ mod tests {
         let data = TransactionSet::from_rows(&[vec![0], vec![1]], 2);
         let mut rng = StdRng::seed_from_u64(5);
         assert!(reidentification_probability(&data, None, 3, 100, &mut rng).is_none());
+    }
+
+    #[test]
+    fn all_sensitive_fixture_returns_none_instead_of_panicking() {
+        // Every item is sensitive, so k exceeds every transaction's
+        // eligible-QID count (which is zero) and sampling has nothing to
+        // draw from: the estimate must be `None`, not a panic.
+        let data = TransactionSet::from_rows(&[vec![0, 1], vec![1, 2], vec![0, 2]], 3);
+        let sens = SensitiveSet::new(vec![0, 1, 2], 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        for k in 1..=3 {
+            assert!(reidentification_probability(&data, Some(&sens), k, 100, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_none() {
+        let data = TransactionSet::from_rows(&[vec![0, 1]], 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(reidentification_probability(&data, None, 0, 100, &mut rng).is_none());
     }
 }
